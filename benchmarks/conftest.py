@@ -1,0 +1,44 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one of the paper's exhibits against the same
+deterministic A5-profile trace (two simulated hours; ~25k events).  The
+trace is generated once per session; each benchmark then measures the
+analysis or simulation it covers and prints the exhibit (visible with
+``pytest benchmarks/ --benchmark-only -s``).
+
+`bench_once` wraps ``benchmark.pedantic(rounds=1)``: the exhibits are
+deterministic whole-trace computations, so one timed round is the honest
+measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.log import TraceLog
+from repro.workload.generator import GenerationResult, generate
+from repro.workload.profiles import UCBARPA
+
+BENCH_SEED = 7
+BENCH_DURATION = 2 * 3600.0
+
+
+@pytest.fixture(scope="session")
+def generation() -> GenerationResult:
+    return generate(UCBARPA, seed=BENCH_SEED, duration=BENCH_DURATION)
+
+
+@pytest.fixture(scope="session")
+def trace(generation) -> TraceLog:
+    return generation.trace
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a deterministic exhibit computation exactly once, timed."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,28 @@
+"""Bench: Figure 2 (dynamic file sizes) and Figure 3 (open times)."""
+
+from repro.experiments import run_one
+
+
+def test_fig2(trace, bench_once, benchmark):
+    result = bench_once(run_one, "fig2", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["accesses_under_10k_pct"] = round(
+        100 * result.data["accesses_under_10k"]
+    )
+    # Paper: ~80% of accesses under 10 KB carrying only ~30% of bytes.
+    assert result.data["accesses_under_10k"] > 0.6
+    assert result.data["bytes_under_10k"] < 0.5
+    # The large-administrative-file tail exists.
+    assert result.data["accesses_over_200k"] > 0.01
+
+
+def test_fig3(trace, bench_once, benchmark):
+    result = bench_once(run_one, "fig3", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["under_half_second_pct"] = round(
+        100 * result.data["under_half_second"]
+    )
+    # Paper: ~75% of opens under 0.5 s, ~90% under 10 s, with a real tail.
+    assert 0.6 <= result.data["under_half_second"] <= 0.95
+    assert result.data["under_ten_seconds"] > 0.85
+    assert result.data["under_ten_seconds"] < 1.0

@@ -1,0 +1,20 @@
+"""Bench: Figure 4 (new-file lifetimes and the 180 s daemon spike)."""
+
+from repro.experiments import run_one
+
+
+def test_fig4(trace, bench_once, benchmark):
+    result = bench_once(run_one, "fig4", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["files_under_200s_pct"] = round(
+        100 * result.data["files_under_200s"]
+    )
+    benchmark.extra_info["daemon_spike_pct"] = round(
+        100 * result.data["daemon_spike"]
+    )
+    # Paper: ~80% of new files dead within ~200 s; data dead within 200 s
+    # accounts for ~40% of bytes written to new files; 30-40% of lifetimes
+    # concentrate at 179-181 s (the rwhod-style status daemons).
+    assert result.data["files_under_200s"] > 0.55
+    assert result.data["bytes_under_200s"] > 0.3
+    assert 0.1 <= result.data["daemon_spike"] <= 0.6

@@ -1,0 +1,29 @@
+"""Bench: Figure 7 (paging approximation) and the Section 6.2 residency
+and dirty-block-fate numbers."""
+
+from repro.experiments import run_one
+
+
+def test_fig7(trace, bench_once, benchmark):
+    result = bench_once(run_one, "fig7", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["small_cache_delta_pct"] = round(
+        100 * result.data["small_cache_delta"], 1
+    )
+    # Paper: simulated page-in degrades small caches (program files grow
+    # the working set) but does not hurt — and usually helps — large ones.
+    assert result.data["small_cache_delta"] > 0
+    assert result.data["large_cache_delta"] < 0.02
+
+
+def test_residency(trace, bench_once, benchmark):
+    result = bench_once(run_one, "residency", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["dirty_discard_16mb_pct"] = round(
+        100 * result.data["dirty_discard_16mb"]
+    )
+    # Paper: a substantial fraction of blocks stay resident a long time in
+    # a 4 MB delayed-write cache (the crash-exposure caveat), and with a
+    # large cache ~75% of newly-written blocks die before ejection.
+    assert result.data["resident_over_20min"] > 0.05
+    assert result.data["dirty_discard_16mb"] > 0.4

@@ -1,0 +1,35 @@
+"""Bench: Table I — the paper's headline summary, recomputed end to end."""
+
+from repro.experiments import run_one
+
+
+def test_table1(trace, bench_once, benchmark):
+    result = bench_once(run_one, "table1", trace)
+    print("\n" + result.rendered)
+    data = result.data
+    benchmark.extra_info["eliminated_delayed_4mb_pct"] = round(
+        100 * data["eliminated_delayed_4mb"]
+    )
+    # Paper Table I, row by row (shape, not absolute):
+    # 1. "about 300-600 bytes/second of file data ... per active user"
+    assert 50 <= data["per_user_bytes_sec"] <= 2000
+    # 2. "about 70% of all file accesses are whole-file transfers, and
+    #     about 50% of all bytes are transferred in whole-file transfers"
+    assert data["whole_file_access_pct"] > 60
+    assert 40 <= data["whole_file_bytes_pct"] <= 80
+    # 3. "75% of all files are open less than .5 second, and 90% are open
+    #     less than 10 seconds"
+    assert data["open_half_s"] > 0.6
+    assert data["open_ten_s"] > 0.85
+    # 4. "about 20-30% of all newly-written information is deleted within
+    #     30 seconds, and about 50% is deleted within 5 minutes"
+    assert data["bytes_dead_30s"] > 0.05
+    assert data["bytes_dead_5min"] > 0.3
+    # 5. "a 4-Mbyte cache ... eliminates between 65% and 90% of all disk
+    #     accesses ... (depending on the write policy)"
+    assert data["eliminated_delayed_4mb"] > 0.65
+    assert data["eliminated_wt_4mb"] > 0.35
+    # 6. "for a 400-kbyte cache a block size of 8 kbytes results in the
+    #     fewest disk accesses; for 4 Mbytes, 16 kbytes is optimal"
+    assert data["best_block_small"] >= 8192
+    assert data["best_block_4mb"] >= 8192

@@ -1,0 +1,24 @@
+"""Bench: Table III (overall statistics) and the Section 3.1 intervals."""
+
+from repro.experiments import run_one
+
+
+def test_table3(trace, bench_once, benchmark):
+    result = bench_once(run_one, "table3", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["records"] = result.data["record_count"]
+    benchmark.extra_info["mbytes"] = round(result.data["data_mbytes"], 1)
+    # Shape: the event mix resembles the paper's Table III.
+    pct = result.data["kind_percents"]
+    assert pct.get("open", 0) > 20
+    assert pct.get("close", 0) > 25
+    assert pct.get("seek", 0) > 8
+
+
+def test_intervals(trace, bench_once, benchmark):
+    result = bench_once(run_one, "intervals", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["p90_seconds"] = round(result.data["p90"], 2)
+    # Paper: 75% of gaps < 0.5 s, 90% < 10 s.
+    assert result.data["p75"] < 0.5
+    assert result.data["p90"] < 10.0

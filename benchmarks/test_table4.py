@@ -1,0 +1,16 @@
+"""Bench: Table IV (system activity / per-active-user throughput)."""
+
+from repro.experiments import run_one
+
+
+def test_table4(trace, bench_once, benchmark):
+    result = bench_once(run_one, "table4", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["per_user_10min_bytes_sec"] = round(
+        result.data["per_user_10min"]
+    )
+    # Paper: a few hundred bytes/second per active user over 10-minute
+    # windows; much hotter over 10-second windows.
+    assert 50 <= result.data["per_user_10min"] <= 2000
+    assert result.data["per_user_10s"] > 2 * result.data["per_user_10min"]
+    assert result.data["active_10s"] < result.data["active_10min"]

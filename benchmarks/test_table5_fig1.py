@@ -1,0 +1,30 @@
+"""Bench: Table V (sequentiality) and Figure 1 (run lengths)."""
+
+from repro.experiments import run_one
+
+
+def test_table5(trace, bench_once, benchmark):
+    result = bench_once(run_one, "table5", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["whole_read_pct"] = round(result.data["whole_read_pct"])
+    benchmark.extra_info["bytes_whole_pct"] = round(result.data["bytes_whole_pct"])
+    # Paper: 63-70% whole-file reads, 81-85% whole-file writes; >90% of
+    # read-only and >96% of write-only accesses sequential; read-write
+    # accesses mostly non-sequential; ~50% of bytes whole-file.
+    assert result.data["whole_read_pct"] > 60
+    assert result.data["whole_write_pct"] > 70
+    assert result.data["seq_read_pct"] > 90
+    assert result.data["seq_write_pct"] > 90
+    assert result.data["seq_rw_pct"] < 50
+    assert 40 <= result.data["bytes_whole_pct"] <= 80
+
+
+def test_fig1(trace, bench_once, benchmark):
+    result = bench_once(run_one, "fig1", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["runs_under_4k_pct"] = round(
+        100 * result.data["runs_under_4k"]
+    )
+    # Paper: 70-75% of runs under 4 KB; 30-40% of bytes in runs >= 25 KB.
+    assert result.data["runs_under_4k"] > 0.5
+    assert 0.15 <= result.data["bytes_over_25k"] <= 0.6

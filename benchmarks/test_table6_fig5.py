@@ -1,0 +1,31 @@
+"""Bench: Table VI / Figure 5 (miss ratio vs cache size and write policy)."""
+
+from repro.experiments import run_one
+
+
+def test_table6_fig5(trace, bench_once, benchmark):
+    result = bench_once(run_one, "table6", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["delayed_4mb_pct"] = round(
+        100 * result.data["delayed_4mb"], 1
+    )
+    ratios = result.data["miss_ratios"]
+    sizes = sorted({size for size, _p in ratios})
+    policies = sorted({p for _s, p in ratios})
+    # Shape 1: monotone improvement with cache size for every policy.
+    for policy in policies:
+        column = [ratios[(s, policy)] for s in sizes]
+        assert column == sorted(column, reverse=True), policy
+    # Shape 2: the paper's policy ordering at every size.
+    for size in sizes:
+        assert (
+            ratios[(size, "write-through")]
+            >= ratios[(size, "30 sec flush")]
+            >= ratios[(size, "5 min flush")]
+            >= ratios[(size, "delayed-write")]
+        )
+    # Shape 3: headline factors — a 4 MB cache eliminates 65-90% of disk
+    # accesses depending on policy; 16 MB delayed-write under 10%.
+    assert result.data["delayed_4mb"] < 0.35
+    assert result.data["wt_4mb"] < 0.65
+    assert result.data["delayed_16mb"] < 0.10

@@ -1,0 +1,26 @@
+"""Bench: Table VII / Figure 6 (disk I/Os vs block size and cache size)."""
+
+from repro.experiments import run_one
+
+
+def test_table7_fig6(trace, bench_once, benchmark):
+    result = bench_once(run_one, "table7", trace)
+    print("\n" + result.rendered)
+    benchmark.extra_info["best_block_4mb_kb"] = result.data["best_4mb_cache"] // 1024
+    ios = result.data["disk_ios"]
+    block_sizes = sorted({bs for bs, _c in ios})
+    caches = sorted({c for _bs, c in ios})
+    # Shape 1: any cache beats no cache, at every block size.
+    for bs in block_sizes:
+        for cache in caches:
+            assert ios[(bs, cache)] <= result.data["no_cache"][bs]
+    # Shape 2: large blocks (8-16 KB) always beat 1 KB blocks — the
+    # paper's "large block sizes are effective even for small caches".
+    for cache in caches:
+        assert ios[(8192, cache)] < ios[(1024, cache)]
+    # Shape 3: the optimum is a large block, and 32 KB stops paying
+    # (flattens or turns up) everywhere.
+    for cache in caches:
+        best = min(block_sizes, key=lambda bs: ios[(bs, cache)])
+        assert best >= 8192
+        assert ios[(32768, cache)] > 0.9 * ios[(16384, cache)]

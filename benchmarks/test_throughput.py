@@ -1,0 +1,35 @@
+"""Bench: raw engine throughput (not a paper exhibit).
+
+How fast the substrate itself runs: workload generation (simulated
+syscalls per wall second) and cache simulation (block accesses per wall
+second).  These are the numbers that determine how long a multi-day
+synthetic trace takes to produce and replay.
+"""
+
+from repro.cache.policies import DELAYED_WRITE
+from repro.cache.simulator import BlockCacheSimulator
+from repro.cache.stream import build_stream
+from repro.workload.generator import generate
+from repro.workload.profiles import UCBARPA
+
+
+def test_generation_throughput(benchmark):
+    result = benchmark.pedantic(
+        generate, kwargs=dict(profile=UCBARPA, seed=1, duration=900.0),
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["events"] = len(result.trace)
+    assert len(result.trace) > 500
+
+
+def test_cache_simulation_throughput(trace, benchmark):
+    stream = build_stream(trace)
+
+    def run():
+        return BlockCacheSimulator(4 * 1024 * 1024, policy=DELAYED_WRITE).run(
+            stream
+        )
+
+    metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["block_accesses"] = metrics.block_accesses
+    assert metrics.block_accesses > 1000

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Designing a file server's block cache, the Section 6 way.
+
+A dedicated file server can devote almost all of its memory to a disk
+cache.  This example walks the paper's design space on a synthetic trace:
+
+* cache size x write policy (Table VI / Figure 5),
+* block size x cache size (Table VII / Figure 6),
+* the crash-exposure tradeoff that rules out pure delayed-write
+  (Section 6.2): how long dirty blocks would sit in memory, and how much
+  of delayed-write's benefit each flush-back interval preserves.
+
+Run:  python examples/file_server_cache_design.py
+"""
+
+from repro import UCBARPA, generate_trace
+from repro.cache import (
+    DELAYED_WRITE,
+    FLUSH_30S,
+    FLUSH_5MIN,
+    WRITE_THROUGH,
+    BlockCacheSimulator,
+    block_size_sweep,
+    build_stream,
+    cache_size_policy_sweep,
+)
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    print("Generating three simulated hours of the A5 workload...")
+    trace = generate_trace(UCBARPA, seed=4, duration=3 * 3600.0)
+    print(trace.summary_line())
+    print()
+
+    print(cache_size_policy_sweep(trace).render())
+    print()
+
+    sweep = block_size_sweep(trace)
+    print(sweep.render())
+    for cache in (400 * 1024, 4 * MB):
+        best = sweep.best_block_size(cache)
+        print(f"  best block size for a {cache // 1024} KB cache: {best // 1024} KB")
+    print()
+
+    # The crash-exposure analysis that motivates flush-back.
+    stream = build_stream(trace)
+    sim = BlockCacheSimulator(4 * MB, policy=DELAYED_WRITE, track_residency=True)
+    delayed = sim.run(stream)
+    print("Crash exposure under pure delayed-write (4 MB cache):")
+    for minutes in (1, 5, 20):
+        frac = sim.residency.fraction_longer_than(minutes * 60)
+        print(
+            f"  blocks resident longer than {minutes:>2} min: {100 * frac:5.1f}%"
+        )
+    print(
+        f"  dirty blocks that died in the cache unwritten: "
+        f"{100 * delayed.dirty_discard_fraction:.0f}%"
+    )
+    print()
+
+    wt = BlockCacheSimulator(4 * MB, policy=WRITE_THROUGH).run(stream)
+    print("How much of delayed-write's write savings each policy keeps (4 MB):")
+    baseline = wt.disk_writes - delayed.disk_writes
+    for policy in (FLUSH_30S, FLUSH_5MIN):
+        metrics = BlockCacheSimulator(4 * MB, policy=policy).run(stream)
+        kept = (wt.disk_writes - metrics.disk_writes) / baseline if baseline else 0
+        print(
+            f"  {policy.label:<13}: keeps {100 * kept:3.0f}% of the write "
+            f"savings, bounds data loss to {policy.flush_interval:.0f} s"
+        )
+    print()
+    print(
+        "Recommendation (the paper's): a several-megabyte cache with large "
+        "blocks and a periodic flush-back — most of delayed-write's benefit, "
+        "bounded crash exposure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""A multi-day trace with the paper's daily rhythm.
+
+The real traces ran 2-3 days "during the busiest part of the work week",
+so their activity statistics mix busy afternoons with quiet nights —
+that is why Table IV's *greatest* number of active users (27 on A5) sits
+so far above the *average* (11.7).  This example turns on the diurnal
+load pattern, generates two simulated days, and shows the rhythm and its
+effect on the Table IV numbers.
+
+Run:  python examples/work_week.py
+"""
+
+import dataclasses
+
+from repro import UCBARPA, analyze_activity
+from repro.analysis import analyze_burstiness
+from repro.workload.distributions import DiurnalPattern
+from repro.workload.generator import generate_trace
+
+
+def main() -> None:
+    profile = dataclasses.replace(
+        UCBARPA,
+        diurnal=DiurnalPattern(peak_hour=15.0, night_slowdown=8.0),
+    )
+    print("Generating two simulated days of A5 with day/night rhythm...")
+    trace = generate_trace(profile, seed=12, duration=48 * 3600.0)
+    print(trace.summary_line())
+    print()
+
+    print("Opens per hour of day (both days superimposed):")
+    counts = [0] * 24
+    for event in trace.of_kind("open"):
+        counts[int(event.time // 3600) % 24] += 1
+    peak = max(counts)
+    for hour in range(24):
+        bar = "#" * round(40 * counts[hour] / peak) if peak else ""
+        print(f"  {hour:02d}:00  {counts[hour]:5d} |{bar}")
+    print()
+
+    report = analyze_activity(trace)
+    print(report.render())
+    print()
+    print(
+        f"Average active users {report.ten_minute.mean_active_users:.1f} vs "
+        f"greatest {report.ten_minute.max_active_users} — the paper's "
+        f"Table IV gap (11.7 vs 27 on A5) comes from exactly this rhythm."
+    )
+    burst = analyze_burstiness(trace)
+    print(burst.render())
+
+
+if __name__ == "__main__":
+    main()

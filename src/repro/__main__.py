@@ -1,0 +1,8 @@
+"""``python -m repro`` runs the repro-fs command-line interface."""
+
+import sys
+
+from .cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""The reference-pattern analyzer.
+
+One of the paper's two trace-processing programs: reconstructs per-open
+accesses from the position-only trace (Section 3.1) and measures system
+activity (Table IV), sequentiality (Table V, Figure 1), dynamic file sizes
+(Figure 2), open durations (Figure 3) and new-file lifetimes (Figure 4).
+"""
+
+from .accesses import FileAccess, Run, Transfer, iter_transfers, reconstruct_accesses
+from .activity import ActivityReport, WindowedActivity, analyze_activity
+from .burstiness import BurstinessReport, analyze_burstiness
+from .cdf import Cdf
+from .comparison import TraceHeadline, compare_traces, headline
+from .export import export_figures, write_cdf_csv, write_sweep_csv
+from .lifetimes import (
+    Lifetime,
+    collect_lifetimes,
+    daemon_spike_fraction,
+    lifetime_cdfs,
+)
+from .opentimes import open_time_cdf, open_time_summary
+from .popularity import FilePopularity, PopularityReport, analyze_popularity
+from .report import format_bytes, render_cdf_ascii, render_cdf_points, render_table
+from .sequentiality import (
+    ModeCounts,
+    SequentialityReport,
+    analyze_sequentiality,
+    run_length_cdfs,
+)
+from .sizes import file_size_cdfs, size_summary
+from .staticscan import StaticScan, scan_disk
+from .users import UserSummary, per_user_summary, render_user_table
+
+__all__ = [
+    "FileAccess",
+    "Run",
+    "Transfer",
+    "reconstruct_accesses",
+    "iter_transfers",
+    "analyze_activity",
+    "ActivityReport",
+    "WindowedActivity",
+    "analyze_sequentiality",
+    "SequentialityReport",
+    "ModeCounts",
+    "run_length_cdfs",
+    "file_size_cdfs",
+    "size_summary",
+    "StaticScan",
+    "scan_disk",
+    "per_user_summary",
+    "render_user_table",
+    "UserSummary",
+    "analyze_popularity",
+    "PopularityReport",
+    "FilePopularity",
+    "open_time_cdf",
+    "open_time_summary",
+    "collect_lifetimes",
+    "lifetime_cdfs",
+    "daemon_spike_fraction",
+    "Lifetime",
+    "Cdf",
+    "compare_traces",
+    "headline",
+    "TraceHeadline",
+    "export_figures",
+    "write_cdf_csv",
+    "write_sweep_csv",
+    "analyze_burstiness",
+    "BurstinessReport",
+    "render_table",
+    "render_cdf_ascii",
+    "render_cdf_points",
+    "format_bytes",
+]

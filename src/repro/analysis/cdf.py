@@ -1,0 +1,96 @@
+"""Cumulative-distribution utilities.
+
+Every figure in the paper is a CDF — of run lengths, file sizes, open
+times or lifetimes, variously weighted by count or by bytes.  :class:`Cdf`
+wraps a weighted sample set with the operations the figure modules need:
+percentile lookup, fraction-below queries, and evaluation on an x-grid for
+plotting or table rendering.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Cdf"]
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """A weighted empirical CDF over non-negative values.
+
+    ``xs`` are the sorted distinct sample values, ``cum`` the cumulative
+    weight at or below each value, and ``total`` the total weight
+    (``total`` can exceed ``cum[-1]`` when some mass is *censored* above
+    every observed value — e.g. files still alive at trace end: they count
+    in the denominator but never appear in the body of the CDF).
+    """
+
+    xs: tuple[float, ...]
+    cum: tuple[float, ...]
+    total: float
+
+    @classmethod
+    def from_samples(
+        cls,
+        values: Iterable[float],
+        weights: Iterable[float] | None = None,
+        censored_weight: float = 0.0,
+    ) -> "Cdf":
+        """Build from samples (optionally weighted).
+
+        *censored_weight* adds denominator mass with value above every
+        sample (right-censoring).
+        """
+        pairs: dict[float, float] = {}
+        if weights is None:
+            for v in values:
+                pairs[v] = pairs.get(v, 0.0) + 1.0
+        else:
+            for v, w in zip(values, weights, strict=True):
+                pairs[v] = pairs.get(v, 0.0) + w
+        xs = sorted(pairs)
+        cum: list[float] = []
+        acc = 0.0
+        for x in xs:
+            acc += pairs[x]
+            cum.append(acc)
+        total = acc + censored_weight
+        return cls(xs=tuple(xs), cum=tuple(cum), total=total)
+
+    @property
+    def count(self) -> float:
+        """Total weight including censored mass."""
+        return self.total
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """P(value <= x)."""
+        if self.total <= 0:
+            return 0.0
+        i = bisect.bisect_right(self.xs, x)
+        if i == 0:
+            return 0.0
+        return self.cum[i - 1] / self.total
+
+    def percentile(self, p: float) -> float:
+        """Smallest x with at least fraction *p* of the weight at or below.
+
+        Returns ``inf`` when the requested mass lies in the censored tail.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0,1], got {p}")
+        if not self.xs:
+            return float("inf")
+        target = p * self.total
+        i = bisect.bisect_left(self.cum, target)
+        if i >= len(self.xs):
+            return float("inf")
+        return self.xs[i]
+
+    def evaluate(self, grid: Sequence[float]) -> list[tuple[float, float]]:
+        """(x, fraction<=x) pairs over *grid* — a plottable curve."""
+        return [(x, self.fraction_at_or_below(x)) for x in grid]
+
+    def median(self) -> float:
+        return self.percentile(0.5)

@@ -1,0 +1,102 @@
+"""Side-by-side trace comparison (the paper's Section 7 check).
+
+"The generality of our conclusions is also supported by the similarity of
+the results for the three different traces."  This module computes the
+headline measurements for several traces at once and renders them as one
+table, so the Section 7 argument can be re-made on any set of traces —
+synthetic profiles, strace conversions, or slices of one long trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.policies import DELAYED_WRITE
+from ..cache.simulator import simulate_cache
+from ..trace.log import TraceLog
+from .accesses import reconstruct_accesses
+from .activity import analyze_activity
+from .lifetimes import collect_lifetimes, daemon_spike_fraction, lifetime_cdfs
+from .opentimes import open_time_cdf
+from .report import render_table
+from .sequentiality import analyze_sequentiality
+from .sizes import file_size_cdfs
+
+__all__ = ["TraceHeadline", "compare_traces", "headline"]
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TraceHeadline:
+    """The numbers Section 7 compares across machines."""
+
+    name: str
+    events: int
+    per_user_bytes_sec: float
+    whole_file_read_pct: float
+    sequential_read_pct: float
+    accesses_under_10k_pct: float
+    opens_under_half_s_pct: float
+    files_dead_200s_pct: float
+    daemon_spike_pct: float
+    miss_ratio_4mb: float
+
+
+def headline(log: TraceLog) -> TraceHeadline:
+    """Compute one trace's headline row."""
+    accesses = reconstruct_accesses(log)
+    activity = analyze_activity(log)
+    seq = analyze_sequentiality(log, accesses)
+    sizes, _bytes = file_size_cdfs(log, accesses)
+    opens = open_time_cdf(log, accesses)
+    lifetimes = collect_lifetimes(log)
+    by_files, _ = lifetime_cdfs(log, lifetimes)
+    cache = simulate_cache(log, 4 * _MB, policy=DELAYED_WRITE)
+    return TraceHeadline(
+        name=log.name,
+        events=len(log),
+        per_user_bytes_sec=activity.ten_minute.mean_user_throughput,
+        whole_file_read_pct=seq.read.percent_whole(),
+        sequential_read_pct=seq.read.percent_sequential(),
+        accesses_under_10k_pct=100 * sizes.fraction_at_or_below(10 * 1024),
+        opens_under_half_s_pct=100 * opens.fraction_at_or_below(0.5),
+        files_dead_200s_pct=100 * by_files.fraction_at_or_below(200.0),
+        daemon_spike_pct=100 * daemon_spike_fraction(lifetimes),
+        miss_ratio_4mb=cache.miss_ratio,
+    )
+
+
+def compare_traces(logs: list[TraceLog]) -> str:
+    """The Section 7 table for any set of traces."""
+    rows = []
+    for log in logs:
+        h = headline(log)
+        rows.append(
+            (
+                h.name,
+                f"{h.events:,}",
+                f"{h.per_user_bytes_sec:.0f}",
+                f"{h.whole_file_read_pct:.0f}%",
+                f"{h.sequential_read_pct:.0f}%",
+                f"{h.accesses_under_10k_pct:.0f}%",
+                f"{h.opens_under_half_s_pct:.0f}%",
+                f"{h.files_dead_200s_pct:.0f}%",
+                f"{100 * h.miss_ratio_4mb:.0f}%",
+            )
+        )
+    return render_table(
+        (
+            "trace",
+            "events",
+            "B/s per user",
+            "whole-file reads",
+            "sequential reads",
+            "accesses <= 10KB",
+            "opens < 0.5s",
+            "files dead < 200s",
+            "4MB miss ratio",
+        ),
+        rows,
+        title="Cross-trace comparison (the paper's Section 7 check)",
+    )

@@ -1,0 +1,102 @@
+"""CSV export of the paper's figures and tables.
+
+The ASCII renderings are fine for a terminal; anyone regenerating the
+paper's *plots* wants the curves as data.  These helpers write the CDF
+curves behind Figures 1–4 and the sweep grids behind Tables VI–VII as
+plain CSV, one file per exhibit.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+from ..cache.sweep import BlockSizeSweep, CachePolicySweep
+from ..trace.log import TraceLog
+from .accesses import reconstruct_accesses
+from .cdf import Cdf
+from .lifetimes import lifetime_cdfs
+from .opentimes import open_time_cdf
+from .sequentiality import run_length_cdfs
+from .sizes import file_size_cdfs
+
+__all__ = ["write_cdf_csv", "write_sweep_csv", "export_figures"]
+
+
+def write_cdf_csv(
+    path: str,
+    curves: dict[str, Cdf],
+    grid: Sequence[float],
+    x_label: str,
+) -> None:
+    """Write several CDFs evaluated on one grid as CSV columns."""
+    names = sorted(curves)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_label] + names)
+        for x in grid:
+            writer.writerow(
+                [x] + [f"{curves[name].fraction_at_or_below(x):.6f}" for name in names]
+            )
+
+
+def write_sweep_csv(path: str, sweep: CachePolicySweep | BlockSizeSweep) -> None:
+    """Write a Table VI or Table VII grid as CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        if isinstance(sweep, CachePolicySweep):
+            writer.writerow(
+                ["cache_bytes"] + [p.label for p in sweep.policies]
+            )
+            for size in sweep.cache_sizes:
+                writer.writerow(
+                    [size]
+                    + [f"{sweep.miss_ratio(size, p):.6f}" for p in sweep.policies]
+                )
+        else:
+            writer.writerow(
+                ["block_size", "no_cache"]
+                + [f"cache_{c}" for c in sweep.cache_sizes]
+            )
+            for bs in sweep.block_sizes:
+                writer.writerow(
+                    [bs, sweep.no_cache[bs]]
+                    + [sweep.disk_ios(bs, c) for c in sweep.cache_sizes]
+                )
+
+
+#: Default grids per figure (bytes or seconds).
+_FIG_GRIDS = {
+    "fig1": [256, 512, 1024, 2048, 4096, 8192, 16384, 25600, 51200, 102400],
+    "fig2": [512, 1024, 2048, 4096, 10240, 20480, 51200, 102400, 204800,
+             1048576],
+    "fig3": [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0],
+    "fig4": [5, 10, 30, 60, 120, 178, 182, 200, 300, 400, 500],
+}
+
+
+def export_figures(log: TraceLog, directory: str) -> list[str]:
+    """Write fig1-fig4 curve CSVs for *log* into *directory*.
+
+    Returns the paths written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    accesses = reconstruct_accesses(log)
+    by_runs, by_bytes = run_length_cdfs(log, accesses)
+    size_acc, size_bytes = file_size_cdfs(log, accesses)
+    opens = open_time_cdf(log, accesses)
+    life_files, life_bytes = lifetime_cdfs(log)
+
+    jobs = [
+        ("fig1", {"by_runs": by_runs, "by_bytes": by_bytes}, "run_length_bytes"),
+        ("fig2", {"by_accesses": size_acc, "by_bytes": size_bytes}, "file_size_bytes"),
+        ("fig3", {"open_time": opens}, "open_seconds"),
+        ("fig4", {"by_files": life_files, "by_bytes": life_bytes}, "lifetime_seconds"),
+    ]
+    written = []
+    for fig, curves, x_label in jobs:
+        path = os.path.join(directory, f"{fig}.csv")
+        write_cdf_csv(path, curves, _FIG_GRIDS[fig], x_label)
+        written.append(path)
+    return written

@@ -1,0 +1,75 @@
+"""Plain-text rendering: tables and ASCII CDF charts.
+
+The paper's exhibits are tables and CDF plots; these helpers render both
+to monospace text so every experiment can print its result in a terminal
+and into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .cdf import Cdf
+
+__all__ = ["render_table", "render_cdf_ascii", "render_cdf_points", "format_bytes"]
+
+
+def format_bytes(n: float) -> str:
+    """Human units, binary multiples (4096 -> '4.0 KB')."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A simple aligned text table (first column left, rest right)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = [row[0].ljust(widths[0])]
+        parts += [row[i].rjust(widths[i]) for i in range(1, len(row))]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines += [fmt(row) for row in cells]
+    return "\n".join(lines)
+
+
+def render_cdf_points(
+    cdf: Cdf, grid: Sequence[float], x_label: str, x_format=lambda x: f"{x:g}"
+) -> str:
+    """The CDF evaluated on a grid, as a two-column table."""
+    rows = [(x_format(x), f"{100.0 * f:.1f}%") for x, f in cdf.evaluate(grid)]
+    return render_table((x_label, "cumulative"), rows)
+
+
+def render_cdf_ascii(
+    cdf: Cdf,
+    grid: Sequence[float],
+    x_label: str,
+    width: int = 50,
+    x_format=lambda x: f"{x:g}",
+) -> str:
+    """A horizontal-bar rendering of the CDF (one row per grid point)."""
+    lines = [f"{x_label:>12}  cumulative"]
+    for x, frac in cdf.evaluate(grid):
+        bar = "#" * round(frac * width)
+        lines.append(f"{x_format(x):>12}  {100 * frac:5.1f}% |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""The trace-driven disk-block-cache simulator.
+
+The paper's second trace-processing program: replays a trace's transfers
+through an LRU cache of fixed-size blocks under four write policies,
+sweeping cache size (Figure 5 / Table VI), block size (Figure 6 /
+Table VII), and — Figure 7 — an execve-driven paging approximation.
+"""
+
+from .metrics import CacheMetrics, ResidencyTracker
+from .policies import (
+    DELAYED_WRITE,
+    FLUSH_30S,
+    FLUSH_5MIN,
+    WRITE_THROUGH,
+    PolicySpec,
+    WritePolicy,
+)
+from .simulator import BlockCacheSimulator, simulate_cache
+from .twolevel import TwoLevelResult, simulate_two_level
+from .stream import Invalidation, StreamItem, build_stream
+from .sweep import (
+    PAPER_BLOCK_SIZES,
+    PAPER_BLOCK_SWEEP_CACHES,
+    PAPER_CACHE_SIZES,
+    PAPER_POLICIES,
+    BlockSizeSweep,
+    CachePolicySweep,
+    PagingComparison,
+    block_size_sweep,
+    cache_size_policy_sweep,
+    count_block_accesses,
+    paging_comparison,
+)
+
+__all__ = [
+    "BlockCacheSimulator",
+    "simulate_cache",
+    "simulate_two_level",
+    "TwoLevelResult",
+    "CacheMetrics",
+    "ResidencyTracker",
+    "PolicySpec",
+    "WritePolicy",
+    "WRITE_THROUGH",
+    "FLUSH_30S",
+    "FLUSH_5MIN",
+    "DELAYED_WRITE",
+    "build_stream",
+    "StreamItem",
+    "Invalidation",
+    "cache_size_policy_sweep",
+    "block_size_sweep",
+    "paging_comparison",
+    "count_block_accesses",
+    "CachePolicySweep",
+    "BlockSizeSweep",
+    "PagingComparison",
+    "PAPER_CACHE_SIZES",
+    "PAPER_POLICIES",
+    "PAPER_BLOCK_SIZES",
+    "PAPER_BLOCK_SWEEP_CACHES",
+]

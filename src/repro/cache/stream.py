@@ -1,0 +1,132 @@
+"""The cache simulator's input stream.
+
+The simulator consumes a time-ordered sequence of two item kinds derived
+from a trace:
+
+* :class:`~repro.analysis.accesses.Transfer` — a billed byte-range
+  movement (one per sequential run, at the close/seek that bounded it);
+* :class:`Invalidation` — a point after which a file's blocks (from some
+  block index up) are dead: an unlink, a truncate, or a truncating open.
+
+Ties in the 10 ms trace clock are broken by original event order, so a
+``creat``'s invalidation always precedes the data its open writes.
+
+Section 6.4's paging approximation is implemented here too: with
+``include_paging=True`` every ``execve`` event contributes a whole-file
+read of the program image at exec time ("we simulated paging activity by
+forcing a whole-file read to each program file at the time the program was
+executed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from ..analysis.accesses import Run, Transfer
+from ..trace.log import TraceLog
+from ..trace.records import (
+    AccessMode,
+    CloseEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    TruncateEvent,
+    UnlinkEvent,
+)
+
+__all__ = ["Invalidation", "StreamItem", "build_stream"]
+
+
+@dataclass(frozen=True, slots=True)
+class Invalidation:
+    """A file's blocks at or past ``from_byte`` are dead as of ``time``."""
+
+    time: float
+    file_id: int
+    from_byte: int
+
+
+StreamItem = Union[Transfer, Invalidation]
+
+
+def build_stream(log: TraceLog, include_paging: bool = False) -> list[StreamItem]:
+    """Derive the simulator input from *log*.
+
+    Returns items sorted by (time, original event order).  Each open's
+    sequential runs become transfers billed at the close/seek that ended
+    them; read-write runs count as writes (the tracer cannot split them,
+    and they can dirty blocks).
+    """
+    items: list[tuple[float, int, StreamItem]] = []
+    # open_id -> (OpenEvent, current position)
+    in_progress: dict[int, tuple[OpenEvent, int]] = {}
+
+    def emit_run(opener: OpenEvent, start: int, end: int, time: float, seq: int) -> None:
+        if end > start:
+            items.append(
+                (
+                    time,
+                    seq,
+                    Transfer(
+                        time=time,
+                        file_id=opener.file_id,
+                        user_id=opener.user_id,
+                        start=start,
+                        end=end,
+                        is_write=opener.mode is not AccessMode.READ,
+                    ),
+                )
+            )
+
+    for seq, event in enumerate(log.events):
+        if isinstance(event, OpenEvent):
+            if event.created:
+                # O_TRUNC/creat: whatever the cache holds for this file is
+                # dead before any new data arrives.
+                items.append(
+                    (event.time, seq, Invalidation(event.time, event.file_id, 0))
+                )
+            in_progress[event.open_id] = (event, event.initial_pos)
+        elif isinstance(event, SeekEvent):
+            state = in_progress.get(event.open_id)
+            if state is None:
+                continue
+            opener, pos = state
+            emit_run(opener, pos, event.prev_pos, event.time, seq)
+            in_progress[event.open_id] = (opener, event.new_pos)
+        elif isinstance(event, CloseEvent):
+            state = in_progress.pop(event.open_id, None)
+            if state is None:
+                continue
+            opener, pos = state
+            emit_run(opener, pos, event.final_pos, event.time, seq)
+        elif isinstance(event, UnlinkEvent):
+            items.append((event.time, seq, Invalidation(event.time, event.file_id, 0)))
+        elif isinstance(event, TruncateEvent):
+            items.append(
+                (
+                    event.time,
+                    seq,
+                    Invalidation(event.time, event.file_id, event.new_length),
+                )
+            )
+        elif isinstance(event, ExecEvent) and include_paging:
+            if event.size > 0:
+                items.append(
+                    (
+                        event.time,
+                        seq,
+                        Transfer(
+                            time=event.time,
+                            file_id=event.file_id,
+                            user_id=event.user_id,
+                            start=0,
+                            end=event.size,
+                            is_write=False,
+                        ),
+                    )
+                )
+
+    items.sort(key=lambda x: (x[0], x[1]))
+    return [item for _, _, item in items]

@@ -1,0 +1,249 @@
+"""Parameter sweeps over the cache simulator (Figures 5–7, Tables VI–VII).
+
+Each sweep builds the input stream once and replays it through one
+simulator per configuration.  Results come back as small dataclasses with
+``render()`` methods that print the paper's table layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import render_table
+from ..trace.log import TraceLog
+from .metrics import CacheMetrics
+from .policies import (
+    DELAYED_WRITE,
+    FLUSH_30S,
+    FLUSH_5MIN,
+    WRITE_THROUGH,
+    PolicySpec,
+)
+from .simulator import BlockCacheSimulator
+from .stream import StreamItem, Transfer, build_stream
+
+__all__ = [
+    "PAPER_CACHE_SIZES",
+    "PAPER_POLICIES",
+    "PAPER_BLOCK_SIZES",
+    "PAPER_BLOCK_SWEEP_CACHES",
+    "CachePolicySweep",
+    "BlockSizeSweep",
+    "PagingComparison",
+    "cache_size_policy_sweep",
+    "block_size_sweep",
+    "paging_comparison",
+    "count_block_accesses",
+]
+
+#: Cache sizes of Figure 5 / Table VI (first entry is the UNIX default).
+PAPER_CACHE_SIZES = (
+    390 * 1024,
+    1 * 1024 * 1024,
+    2 * 1024 * 1024,
+    4 * 1024 * 1024,
+    8 * 1024 * 1024,
+    16 * 1024 * 1024,
+)
+
+#: Write policies of Figure 5 / Table VI, in column order.
+PAPER_POLICIES = (WRITE_THROUGH, FLUSH_30S, FLUSH_5MIN, DELAYED_WRITE)
+
+#: Block sizes of Figure 6 / Table VII.
+PAPER_BLOCK_SIZES = (1024, 2048, 4096, 8192, 16384, 32768)
+
+#: Cache sizes of Figure 6 / Table VII.
+PAPER_BLOCK_SWEEP_CACHES = (
+    400 * 1024,
+    2 * 1024 * 1024,
+    4 * 1024 * 1024,
+    8 * 1024 * 1024,
+)
+
+
+def _size_label(nbytes: int) -> str:
+    if nbytes >= 1024 * 1024:
+        value = nbytes / (1024 * 1024)
+        return f"{value:g} Mbyte" + ("s" if value != 1 else "")
+    return f"{nbytes // 1024} kbytes"
+
+
+@dataclass
+class CachePolicySweep:
+    """Miss ratio as a function of cache size and write policy
+    (Figure 5 / Table VI)."""
+
+    trace_name: str
+    block_size: int
+    cache_sizes: tuple[int, ...]
+    policies: tuple[PolicySpec, ...]
+    results: dict[tuple[int, str], CacheMetrics] = field(default_factory=dict)
+
+    def miss_ratio(self, cache_bytes: int, policy: PolicySpec) -> float:
+        return self.results[(cache_bytes, policy.label)].miss_ratio
+
+    def render(self) -> str:
+        headers = ["Cache Size"] + [p.label for p in self.policies]
+        rows = []
+        for size in self.cache_sizes:
+            row = [_size_label(size)]
+            for policy in self.policies:
+                row.append(f"{100 * self.miss_ratio(size, policy):.1f}%")
+            rows.append(row)
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"Table VI: miss ratio vs cache size and write policy "
+                f"({self.trace_name}, {self.block_size}-byte blocks)"
+            ),
+        )
+
+
+def cache_size_policy_sweep(
+    log: TraceLog,
+    cache_sizes: tuple[int, ...] = PAPER_CACHE_SIZES,
+    policies: tuple[PolicySpec, ...] = PAPER_POLICIES,
+    block_size: int = 4096,
+) -> CachePolicySweep:
+    """Reproduce Figure 5 / Table VI on *log*."""
+    stream = build_stream(log)
+    sweep = CachePolicySweep(
+        trace_name=log.name,
+        block_size=block_size,
+        cache_sizes=tuple(cache_sizes),
+        policies=tuple(policies),
+    )
+    for size in cache_sizes:
+        for policy in policies:
+            sim = BlockCacheSimulator(
+                cache_bytes=size, block_size=block_size, policy=policy
+            )
+            sweep.results[(size, policy.label)] = sim.run(stream)
+    return sweep
+
+
+def count_block_accesses(stream: list[StreamItem], block_size: int) -> int:
+    """Total logical block accesses — the paper's "no cache" column in
+    Table VII (with no cache every access is a disk I/O)."""
+    total = 0
+    for item in stream:
+        if isinstance(item, Transfer):
+            total += (item.end - 1) // block_size - item.start // block_size + 1
+    return total
+
+
+@dataclass
+class BlockSizeSweep:
+    """Disk I/Os as a function of block size and cache size
+    (Figure 6 / Table VII, delayed-write policy)."""
+
+    trace_name: str
+    block_sizes: tuple[int, ...]
+    cache_sizes: tuple[int, ...]
+    no_cache: dict[int, int] = field(default_factory=dict)
+    results: dict[tuple[int, int], CacheMetrics] = field(default_factory=dict)
+
+    def disk_ios(self, block_size: int, cache_bytes: int) -> int:
+        return self.results[(block_size, cache_bytes)].disk_ios
+
+    def best_block_size(self, cache_bytes: int) -> int:
+        """The block size minimizing disk I/O for a given cache size."""
+        return min(
+            self.block_sizes, key=lambda bs: self.disk_ios(bs, cache_bytes)
+        )
+
+    def render(self) -> str:
+        headers = ["Block Size", "No Cache"] + [
+            _size_label(c) + " Cache" for c in self.cache_sizes
+        ]
+        rows = []
+        for bs in self.block_sizes:
+            row = [f"{bs // 1024} kbytes", f"{self.no_cache[bs]:,}"]
+            for cache in self.cache_sizes:
+                row.append(f"{self.disk_ios(bs, cache):,}")
+            rows.append(row)
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"Table VII: disk I/Os vs block size and cache size "
+                f"({self.trace_name}, delayed-write)"
+            ),
+        )
+
+
+def block_size_sweep(
+    log: TraceLog,
+    block_sizes: tuple[int, ...] = PAPER_BLOCK_SIZES,
+    cache_sizes: tuple[int, ...] = PAPER_BLOCK_SWEEP_CACHES,
+    policy: PolicySpec = DELAYED_WRITE,
+) -> BlockSizeSweep:
+    """Reproduce Figure 6 / Table VII on *log*."""
+    stream = build_stream(log)
+    sweep = BlockSizeSweep(
+        trace_name=log.name,
+        block_sizes=tuple(block_sizes),
+        cache_sizes=tuple(cache_sizes),
+    )
+    for bs in block_sizes:
+        sweep.no_cache[bs] = count_block_accesses(stream, bs)
+        for cache in cache_sizes:
+            sim = BlockCacheSimulator(
+                cache_bytes=cache, block_size=bs, policy=policy
+            )
+            sweep.results[(bs, cache)] = sim.run(stream)
+    return sweep
+
+
+@dataclass
+class PagingComparison:
+    """Miss ratios with and without the execve paging approximation
+    (Figure 7: delayed-write, 4096-byte blocks)."""
+
+    trace_name: str
+    cache_sizes: tuple[int, ...]
+    ignored: dict[int, CacheMetrics] = field(default_factory=dict)
+    simulated: dict[int, CacheMetrics] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Cache Size", "Page-in ignored", "Page-in simulated"]
+        rows = []
+        for size in self.cache_sizes:
+            rows.append(
+                [
+                    _size_label(size),
+                    f"{100 * self.ignored[size].miss_ratio:.1f}%",
+                    f"{100 * self.simulated[size].miss_ratio:.1f}%",
+                ]
+            )
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"Figure 7: miss ratio with paging approximated "
+                f"({self.trace_name}, delayed-write, 4096-byte blocks)"
+            ),
+        )
+
+
+def paging_comparison(
+    log: TraceLog,
+    cache_sizes: tuple[int, ...] = PAPER_CACHE_SIZES,
+    block_size: int = 4096,
+    policy: PolicySpec = DELAYED_WRITE,
+) -> PagingComparison:
+    """Reproduce Figure 7 on *log*."""
+    plain = build_stream(log, include_paging=False)
+    paged = build_stream(log, include_paging=True)
+    comparison = PagingComparison(
+        trace_name=log.name, cache_sizes=tuple(cache_sizes)
+    )
+    for size in cache_sizes:
+        comparison.ignored[size] = BlockCacheSimulator(
+            cache_bytes=size, block_size=block_size, policy=policy
+        ).run(plain)
+        comparison.simulated[size] = BlockCacheSimulator(
+            cache_bytes=size, block_size=block_size, policy=policy
+        ).run(paged)
+    return comparison

@@ -1,0 +1,419 @@
+"""The ``repro-fs`` command-line interface.
+
+Subcommands::
+
+    repro-fs generate  --profile A5 --hours 4 --seed 1 -o a5.trace
+    repro-fs stats     a5.trace
+    repro-fs validate  a5.trace
+    repro-fs analyze   a5.trace [--report activity|sequentiality|...]
+    repro-fs simulate  a5.trace --cache-mb 4 --block-size 4096 --policy delayed-write
+    repro-fs sweep     a5.trace [--kind policy|blocksize|paging]
+    repro-fs experiment a5.trace --id table6   (or --all)
+    repro-fs convert-strace strace.log -o out.trace
+
+Traces are stored in the binary format when the filename ends in ``.btrace``
+and the text format otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis import (
+    analyze_activity,
+    analyze_sequentiality,
+    collect_lifetimes,
+    daemon_spike_fraction,
+    open_time_cdf,
+    open_time_summary,
+    file_size_cdfs,
+    size_summary,
+)
+from ..cache.policies import (
+    DELAYED_WRITE,
+    FLUSH_30S,
+    FLUSH_5MIN,
+    WRITE_THROUGH,
+    PolicySpec,
+    WritePolicy,
+)
+from ..cache.simulator import simulate_cache
+from ..cache.sweep import (
+    block_size_sweep,
+    cache_size_policy_sweep,
+    paging_comparison,
+)
+from ..experiments import (
+    all_ids,
+    all_system_ids,
+    get as get_experiment,
+    run_all,
+    run_system_experiment,
+)
+from ..strace.convert import convert_file
+from ..trace.intervals import interval_stats
+from ..trace.io_binary import read_binary, write_binary
+from ..trace.io_text import read_text, write_text
+from ..trace.log import TraceLog
+from ..trace.stats import compute_stats
+from ..trace.validate import validate
+from ..workload.generator import generate
+from ..workload.profiles import PROFILES
+
+__all__ = ["main", "build_parser"]
+
+_POLICIES = {
+    "write-through": WRITE_THROUGH,
+    "flush-30s": FLUSH_30S,
+    "flush-5min": FLUSH_5MIN,
+    "delayed-write": DELAYED_WRITE,
+}
+
+
+def _load_trace(path: str) -> TraceLog:
+    if path.endswith(".btrace"):
+        return read_binary(path)
+    return read_text(path)
+
+
+def _save_trace(log: TraceLog, path: str) -> None:
+    if path.endswith(".btrace"):
+        write_binary(log, path)
+    else:
+        write_text(log, path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.profile_file:
+        from ..workload.profile_io import load_profile
+
+        profile = load_profile(args.profile_file)
+    else:
+        profile = PROFILES[args.profile]
+    result = generate(profile, seed=args.seed, duration=args.hours * 3600.0)
+    _save_trace(result.trace, args.output)
+    print(result.trace.summary_line())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    log = _load_trace(args.trace)
+    print(compute_stats(log).render())
+    print(interval_stats(log).render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    report = validate(_load_trace(args.trace))
+    print(report)
+    for problem in report.problems:
+        print(f"  {problem}")
+    return 0 if report.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    log = _load_trace(args.trace)
+    wanted = args.report
+    if wanted in ("activity", "all"):
+        print(analyze_activity(log).render())
+    if wanted in ("sequentiality", "all"):
+        print(analyze_sequentiality(log).render())
+    if wanted in ("opentimes", "all"):
+        print(open_time_summary(open_time_cdf(log)))
+    if wanted in ("sizes", "all"):
+        print(size_summary(*file_size_cdfs(log)))
+    if wanted in ("users", "all"):
+        from ..analysis import per_user_summary, render_user_table
+
+        print(render_user_table(per_user_summary(log)))
+    if wanted in ("burstiness", "all"):
+        from ..analysis import analyze_burstiness
+
+        print(analyze_burstiness(log).render())
+    if wanted in ("lifetimes", "all"):
+        lifetimes = collect_lifetimes(log)
+        dead = [lt for lt in lifetimes if lt.lifetime is not None]
+        spike = 100 * daemon_spike_fraction(lifetimes)
+        print(
+            f"{len(lifetimes)} new files, {len(dead)} died during the trace; "
+            f"{spike:.0f}% of lifetimes in the 179-181 s daemon band"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    log = _load_trace(args.trace)
+    policy = _POLICIES[args.policy]
+    metrics = simulate_cache(
+        log,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        block_size=args.block_size,
+        policy=policy,
+        include_paging=args.paging,
+    )
+    print(metrics.summary())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    log = _load_trace(args.trace)
+    if args.kind == "policy":
+        sweep = cache_size_policy_sweep(log)
+    elif args.kind == "blocksize":
+        sweep = block_size_sweep(log)
+    else:
+        print(paging_comparison(log).render())
+        return 0
+    print(sweep.render())
+    if args.csv:
+        from ..analysis.export import write_sweep_csv
+
+        write_sweep_csv(args.csv, sweep)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_twolevel(args: argparse.Namespace) -> int:
+    from ..cache.twolevel import simulate_two_level
+
+    log = _load_trace(args.trace)
+    result = simulate_two_level(
+        log,
+        client_cache_bytes=int(args.client_kb * 1024),
+        server_cache_bytes=int(args.server_mb * 1024 * 1024),
+        block_size=args.block_size,
+        client_policy=_POLICIES[args.client_policy],
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_export_figures(args: argparse.Namespace) -> int:
+    from ..analysis.export import export_figures
+
+    log = _load_trace(args.trace)
+    for path in export_figures(log, args.directory):
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    log = _load_trace(args.trace)
+    if args.all:
+        for result in run_all(log):
+            print(result)
+            print()
+        return 0
+    if not args.id:
+        print(f"available experiments: {', '.join(all_ids())}", file=sys.stderr)
+        return 2
+    print(get_experiment(args.id).run(log))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..experiments import paper_vs_measured
+
+    log = _load_trace(args.trace)
+    text = (
+        f"# Paper-vs-measured report for trace {log.name}\n\n"
+        f"{len(log)} events over {log.duration / 3600:.2f} hours.\n\n"
+        + paper_vs_measured(log)
+        + "\n"
+    )
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_slice(args: argparse.Namespace) -> int:
+    log = _load_trace(args.trace)
+    out = log.slice(args.start, args.end if args.end is not None else log.end_time + 1)
+    _save_trace(out, args.output)
+    print(out.summary_line())
+    return 0
+
+
+def _cmd_filter(args: argparse.Namespace) -> int:
+    from ..trace.ops import filter_files, filter_users
+
+    log = _load_trace(args.trace)
+    if args.users:
+        log = filter_users(log, [int(u) for u in args.users.split(",")])
+    if args.files:
+        log = filter_files(log, [int(f) for f in args.files.split(",")])
+    _save_trace(log, args.output)
+    print(log.summary_line())
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from ..trace.ops import merge
+
+    logs = [_load_trace(path) for path in args.traces]
+    merged = merge(logs)
+    _save_trace(merged, args.output)
+    print(merged.summary_line())
+    return 0
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    from ..unixfs.check import fsck
+    from ..workload.generator import generate
+
+    profile = PROFILES[args.profile]
+    result = generate(profile, seed=args.seed, duration=args.hours * 3600.0)
+    print(result.trace.summary_line())
+    print(fsck(result.fs))
+    print()
+    ids = all_system_ids() if args.all or not args.id else [args.id]
+    for experiment_id in ids:
+        print(f"=== {experiment_id} ===")
+        print(run_system_experiment(experiment_id, result).rendered)
+        print()
+    return 0
+
+
+def _cmd_convert_strace(args: argparse.Namespace) -> int:
+    log, stats = convert_file(args.strace_log, name=args.name)
+    _save_trace(log, args.output)
+    print(stats.summary())
+    print(f"wrote {args.output} ({len(log)} events)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fs",
+        description=(
+            "Trace-driven analysis of the UNIX 4.2 BSD file system "
+            "(SOSP 1985 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a trace from a machine profile")
+    p.add_argument("--profile", choices=sorted(PROFILES), default="A5")
+    p.add_argument(
+        "--profile-file",
+        help="JSON profile definition (overrides --profile)",
+        default=None,
+    )
+    p.add_argument("--hours", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("stats", help="Table III statistics for a trace")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("validate", help="check trace integrity")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("analyze", help="reference-pattern analysis")
+    p.add_argument("trace")
+    p.add_argument(
+        "--report",
+        choices=["activity", "sequentiality", "opentimes", "sizes",
+                 "lifetimes", "users", "burstiness", "all"],
+        default="all",
+    )
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("simulate", help="one block-cache simulation")
+    p.add_argument("trace")
+    p.add_argument("--cache-mb", type=float, default=4.0)
+    p.add_argument("--block-size", type=int, default=4096)
+    p.add_argument("--policy", choices=sorted(_POLICIES), default="delayed-write")
+    p.add_argument("--paging", action="store_true", help="simulate execve page-in")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="cache parameter sweeps (Tables VI/VII, Fig 7)")
+    p.add_argument("trace")
+    p.add_argument("--kind", choices=["policy", "blocksize", "paging"], default="policy")
+    p.add_argument("--csv", help="also write the grid as CSV", default=None)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "twolevel", help="client/server two-level cache simulation"
+    )
+    p.add_argument("trace")
+    p.add_argument("--client-kb", type=float, default=512.0)
+    p.add_argument("--server-mb", type=float, default=16.0)
+    p.add_argument("--block-size", type=int, default=4096)
+    p.add_argument("--client-policy", choices=sorted(_POLICIES),
+                   default="write-through")
+    p.set_defaults(func=_cmd_twolevel)
+
+    p = sub.add_parser(
+        "export-figures", help="write Figures 1-4 curves as CSV files"
+    )
+    p.add_argument("trace")
+    p.add_argument("-d", "--directory", default="figures")
+    p.set_defaults(func=_cmd_export_figures)
+
+    p = sub.add_parser("experiment", help="reproduce a paper exhibit")
+    p.add_argument("trace")
+    p.add_argument("--id", help="experiment id (see --all for the list)")
+    p.add_argument("--all", action="store_true", help="run every exhibit")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "report", help="write a paper-vs-measured markdown report"
+    )
+    p.add_argument("trace")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("slice", help="cut a time window out of a trace")
+    p.add_argument("trace")
+    p.add_argument("--start", type=float, default=0.0)
+    p.add_argument("--end", type=float, default=None)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_slice)
+
+    p = sub.add_parser("filter", help="restrict a trace to users/files")
+    p.add_argument("trace")
+    p.add_argument("--users", help="comma-separated user ids")
+    p.add_argument("--files", help="comma-separated file ids")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_filter)
+
+    p = sub.add_parser("merge", help="merge traces into one time-ordered trace")
+    p.add_argument("traces", nargs="+")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_merge)
+
+    p = sub.add_parser(
+        "system",
+        help="live-kernel experiments (Leffler comparison, other-I/O, "
+        "static scan) — generates its own system",
+    )
+    p.add_argument("--profile", choices=sorted(PROFILES), default="A5")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--id", default=None)
+    p.add_argument("--all", action="store_true")
+    p.set_defaults(func=_cmd_system)
+
+    p = sub.add_parser("convert-strace", help="convert strace -f -ttt output")
+    p.add_argument("strace_log")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--name", default=None)
+    p.set_defaults(func=_cmd_convert_strace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Simulated clocks.
+
+Everything in this repository runs against a virtual clock so that traces
+are deterministic and a multi-day trace can be generated in seconds.  The
+file system takes any zero-argument callable returning the current time;
+:class:`Clock` is the canonical implementation and is what the workload
+engine's event loop advances.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A manually advanced monotonic clock (seconds as float)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by *dt* seconds; returns the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def set(self, t: float) -> None:
+        """Jump the clock to absolute time *t* (must not move backwards)."""
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards ({t} < {self._now})")
+        self._now = float(t)
+
+    def __repr__(self) -> str:
+        return f"Clock(t={self._now:.3f})"

@@ -1,0 +1,11 @@
+"""Disk service-time modelling.
+
+Converts the cache simulator's disk-I/O counts into disk *time* using a
+mid-1980s disk model, so the block-size tradeoff of Figure 6 can be
+re-examined in seconds rather than operation counts (large blocks cost
+proportionally more platter time per operation).
+"""
+
+from .model import FUJITSU_EAGLE, DiskModel, DiskTimeEstimate
+
+__all__ = ["DiskModel", "FUJITSU_EAGLE", "DiskTimeEstimate"]

@@ -1,0 +1,46 @@
+"""Per-exhibit reproduction drivers.
+
+One module per table and figure in the paper's evaluation.  Importing
+this package registers them all; use :func:`run_all` /
+:func:`run_one` or the CLI (``repro-fs experiment``).
+"""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    burstiness,
+    exposure,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig7,
+    intervals,
+    metadata,
+    residency,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6_fig5,
+    table7_fig6,
+)
+from .base import REGISTRY, Experiment, ExperimentResult, all_ids, get
+from .runner import paper_vs_measured, run_all, run_one
+from .system import (
+    SYSTEM_REGISTRY,
+    all_system_ids,
+    run_system_experiment,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentResult",
+    "all_ids",
+    "get",
+    "run_one",
+    "run_all",
+    "paper_vs_measured",
+    "SYSTEM_REGISTRY",
+    "all_system_ids",
+    "run_system_experiment",
+]

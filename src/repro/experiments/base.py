@@ -1,0 +1,81 @@
+"""Experiment framework.
+
+Every table and figure in the paper's evaluation is reproduced by one
+module in this package.  An experiment takes a trace (synthetic, loaded
+from disk, or converted from strace) and returns an
+:class:`ExperimentResult` carrying both the rendered text exhibit and the
+raw numbers, so benchmarks can assert on shapes and ``EXPERIMENTS.md``
+can record paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..trace.log import TraceLog
+
+__all__ = ["ExperimentResult", "Experiment", "REGISTRY", "register", "get", "all_ids"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    rendered: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"=== {self.experiment_id}: {self.title} ===\n{self.rendered}"
+
+
+class ExperimentFn(Protocol):
+    def __call__(self, log: TraceLog) -> ExperimentResult: ...
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str  # what the paper reports, for side-by-side records
+    run: ExperimentFn
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register(
+    experiment_id: str, title: str, paper_claim: str
+) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering an experiment under *experiment_id*."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id}")
+        REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_claim=paper_claim,
+            run=fn,
+        )
+        return fn
+
+    return wrap
+
+
+def get(experiment_id: str) -> Experiment:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_ids() -> list[str]:
+    return sorted(REGISTRY)

@@ -1,0 +1,66 @@
+"""Section 6.2's crash-exposure tradeoff, quantified.
+
+The paper rejects pure delayed-write because "some blocks could reside in
+the cache a long time before they are written to disk ... System crashes
+could cause large amounts of information to be lost", and offers
+flush-back as the compromise.  This experiment measures the exposure
+directly: the time-averaged and worst-case amount of dirty (unwritten)
+data sitting in a 4 MB cache under each policy, next to the disk-write
+savings the policy buys.
+"""
+
+from __future__ import annotations
+
+from ..cache.policies import DELAYED_WRITE, FLUSH_30S, FLUSH_5MIN, WRITE_THROUGH
+from ..cache.simulator import BlockCacheSimulator
+from ..cache.stream import build_stream
+from ..trace.log import TraceLog
+from .base import ExperimentResult, register
+
+_MB = 1024 * 1024
+
+
+@register(
+    "exposure",
+    "Crash exposure vs write savings, by policy (4 MB cache)",
+    "Delayed-write leaves data unwritten indefinitely (with a 4 MB cache "
+    "a substantial fraction of blocks stay cached over 20 minutes); "
+    "flush-back bounds the loss to its interval while keeping most of "
+    "the write savings",
+)
+def run(log: TraceLog) -> ExperimentResult:
+    stream = build_stream(log)
+    duration = max(log.duration, 1e-9)
+    rows = []
+    data = {}
+    baseline_writes = None
+    for policy in (WRITE_THROUGH, FLUSH_30S, FLUSH_5MIN, DELAYED_WRITE):
+        sim = BlockCacheSimulator(4 * _MB, policy=policy, track_exposure=True)
+        metrics = sim.run(stream)
+        if baseline_writes is None:
+            baseline_writes = metrics.disk_writes
+        avg_kb = sim.exposure.average_dirty_blocks(duration) * sim.block_size / 1024
+        max_kb = sim.exposure.max_dirty_blocks * sim.block_size / 1024
+        saved = (
+            100 * (1 - metrics.disk_writes / baseline_writes)
+            if baseline_writes
+            else 0.0
+        )
+        rows.append(
+            f"{policy.label:<13}: avg {avg_kb:8.1f} KB dirty, worst "
+            f"{max_kb:8.1f} KB at risk, write savings {saved:5.1f}%"
+        )
+        key = policy.label.replace(" ", "_")
+        data[f"avg_kb_{key}"] = avg_kb
+        data[f"max_kb_{key}"] = max_kb
+        data[f"write_savings_{key}"] = saved
+    rows.append(
+        "Flush-back buys most of delayed-write's savings at a small "
+        "fraction of its exposure — the paper's recommendation."
+    )
+    return ExperimentResult(
+        experiment_id="exposure",
+        title="Crash exposure vs write savings, by policy (4 MB cache)",
+        rendered="\n".join(rows),
+        data=data,
+    )

@@ -1,0 +1,28 @@
+"""Section 3.1: inter-event interval bounds on transfer times."""
+
+from __future__ import annotations
+
+from ..trace.intervals import interval_stats
+from ..trace.log import TraceLog
+from .base import ExperimentResult, register
+
+
+@register(
+    "intervals",
+    "Intervals between successive trace events for the same open file",
+    "75% of intervals < 0.5 s, 90% < 10 s, 99% < 30 s",
+)
+def run(log: TraceLog) -> ExperimentResult:
+    stats = interval_stats(log)
+    return ExperimentResult(
+        experiment_id="intervals",
+        title="Intervals between successive trace events for the same open file",
+        rendered=stats.render(),
+        data={
+            "count": stats.count,
+            "p75": stats.p75,
+            "p90": stats.p90,
+            "p99": stats.p99,
+            "max": stats.maximum,
+        },
+    )

@@ -1,0 +1,52 @@
+"""Section 6.2: block residency times under delayed-write.
+
+The paper's caveat about delayed-write is crash exposure: blocks can sit
+dirty in the cache for a long time.  It reports that with a 4 MB cache a
+substantial fraction of blocks stay resident for longer than 20 minutes,
+and that the flush-back policies bound the exposure: about 25% of newly
+written blocks die within 30 seconds and about 50% within 5 minutes
+(which is why those flush intervals recover 25% / 50% of the writes).
+"""
+
+from __future__ import annotations
+
+from ..cache.simulator import BlockCacheSimulator
+from ..cache.stream import build_stream
+from ..trace.log import TraceLog
+from .base import ExperimentResult, register
+
+
+@register(
+    "residency",
+    "Block residency and dirty-block fate under delayed-write (4 MB)",
+    "With a 4 MB cache ~20% of blocks stay in the cache longer than 20 "
+    "minutes; with large caches ~75% of newly-written blocks die before "
+    "ejection and are never written to disk",
+)
+def run(log: TraceLog) -> ExperimentResult:
+    stream = build_stream(log)
+    sim = BlockCacheSimulator(4 * 1024 * 1024, track_residency=True)
+    metrics = sim.run(stream)
+    big = BlockCacheSimulator(16 * 1024 * 1024)
+    big_metrics = big.run(stream)
+    frac_20min = sim.residency.fraction_longer_than(20 * 60)
+    rendered = "\n".join(
+        [
+            f"4 MB delayed-write cache over trace {log.name}:",
+            f"  blocks resident longer than 20 minutes: {100 * frac_20min:.0f}%",
+            f"  dirty blocks that died in the cache (never written): "
+            f"{100 * metrics.dirty_discard_fraction:.0f}%",
+            f"16 MB cache: dirty blocks dying unwritten: "
+            f"{100 * big_metrics.dirty_discard_fraction:.0f}%",
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="residency",
+        title="Block residency and dirty-block fate under delayed-write (4 MB)",
+        rendered=rendered,
+        data={
+            "resident_over_20min": frac_20min,
+            "dirty_discard_4mb": metrics.dirty_discard_fraction,
+            "dirty_discard_16mb": big_metrics.dirty_discard_fraction,
+        },
+    )

@@ -1,0 +1,46 @@
+"""Run experiments against a trace.
+
+``run_all`` reproduces every registered exhibit; ``run_one`` a single
+one.  ``paper_vs_measured`` renders the side-by-side record used in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from ..trace.log import TraceLog
+from .base import REGISTRY, ExperimentResult, all_ids, get
+
+__all__ = ["run_one", "run_all", "paper_vs_measured"]
+
+
+def run_one(experiment_id: str, log: TraceLog) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get(experiment_id).run(log)
+
+
+def run_all(log: TraceLog) -> list[ExperimentResult]:
+    """Run every registered experiment, in id order."""
+    return [REGISTRY[eid].run(log) for eid in all_ids()]
+
+
+def paper_vs_measured(log: TraceLog) -> str:
+    """Every exhibit with the paper's claim next to our measurement."""
+    sections: list[str] = []
+    for eid in all_ids():
+        experiment = REGISTRY[eid]
+        result = experiment.run(log)
+        sections.append(
+            "\n".join(
+                [
+                    f"## {eid}: {experiment.title}",
+                    "",
+                    f"**Paper:** {experiment.paper_claim}",
+                    "",
+                    "**Measured:**",
+                    "```",
+                    result.rendered,
+                    "```",
+                ]
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,20 @@
+"""strace-based trace substitution.
+
+The original 1985 traces are gone; this package converts ``strace -f
+-ttt`` logs of real modern workloads into the paper's logical trace
+format, so the reference-pattern analyzer and the cache simulator can be
+run against genuine file-system activity as well as the synthetic
+workloads.
+"""
+
+from .convert import ConversionStats, convert_calls, convert_file
+from .parser import StraceCall, parse_file, parse_lines
+
+__all__ = [
+    "StraceCall",
+    "parse_lines",
+    "parse_file",
+    "convert_calls",
+    "convert_file",
+    "ConversionStats",
+]

@@ -1,0 +1,209 @@
+"""Parser for Linux ``strace`` output.
+
+The modern substitution path: since the 1985 Berkeley traces no longer
+exist, traces of *real* present-day workloads can be captured with::
+
+    strace -f -ttt -e trace=open,openat,creat,close,read,write,lseek,\\
+unlink,unlinkat,truncate,ftruncate,execve  <command>
+
+and converted into the paper's logical trace format by
+:mod:`repro.strace.convert`.  This module handles the line-level parsing:
+pid and epoch timestamp prefixes, syscall name, argument list and return
+value, including strace's ``<unfinished ...>`` / ``<... resumed>`` pairs
+(which are stitched back together).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Union
+
+__all__ = ["StraceCall", "parse_lines", "parse_file"]
+
+#: Syscalls the converter understands; everything else is skipped.
+INTERESTING = frozenset(
+    {
+        "open",
+        "openat",
+        "creat",
+        "close",
+        "read",
+        "write",
+        "pread64",
+        "pwrite64",
+        "lseek",
+        "_llseek",
+        "unlink",
+        "unlinkat",
+        "truncate",
+        "ftruncate",
+        "execve",
+        "rename",
+        "renameat",
+        "renameat2",
+        "dup",
+        "dup2",
+        "dup3",
+    }
+)
+
+
+@dataclass(frozen=True)
+class StraceCall:
+    """One completed syscall line."""
+
+    pid: int
+    time: float
+    name: str
+    args: str
+    retval: int
+
+    def path_arg(self, index: int = 0) -> str | None:
+        """The index-th quoted string argument, unescaped, or None."""
+        matches = re.findall(r'"((?:[^"\\]|\\.)*)"', self.args)
+        if index >= len(matches):
+            return None
+        return matches[index].encode().decode("unicode_escape")
+
+    def int_arg(self, index: int) -> int | None:
+        """The index-th top-level argument parsed as an int, or None."""
+        parts = _split_args(self.args)
+        if index >= len(parts):
+            return None
+        token = parts[index].strip()
+        try:
+            return int(token, 0)
+        except ValueError:
+            return None
+
+
+_LINE = re.compile(
+    r"^(?:(?P<pid>\d+)\s+)?"  # optional pid (strace -f)
+    r"(?P<time>\d+\.\d+)\s+"  # -ttt epoch timestamp
+    r"(?P<name>\w+)\((?P<args>.*)"  # syscall + open paren
+)
+
+_COMPLETE_TAIL = re.compile(
+    r"^(?P<args>.*)\)\s*=\s*(?P<ret>-?\d+|\?)[^=]*$"
+)
+
+_UNFINISHED = re.compile(r"^(?P<args>.*)\s*<unfinished \.\.\.>\s*$")
+
+_RESUMED = re.compile(
+    r"^(?:(?P<pid>\d+)\s+)?(?P<time>\d+\.\d+)\s+"
+    r"<\.\.\.\s+(?P<name>\w+)\s+resumed>\s*(?P<args>.*)$"
+)
+
+
+def _split_args(args: str) -> list[str]:
+    """Split an argument string at top-level commas (brackets nest)."""
+    parts: list[str] = []
+    depth = 0
+    in_str = False
+    escape = False
+    current: list[str] = []
+    for ch in args:
+        if escape:
+            current.append(ch)
+            escape = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escape = True
+            continue
+        if ch == '"':
+            in_str = not in_str
+            current.append(ch)
+            continue
+        if in_str:
+            current.append(ch)
+            continue
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def parse_lines(lines: Iterable[str]) -> Iterator[StraceCall]:
+    """Yield completed calls from strace output lines.
+
+    Lines for uninteresting syscalls, signal deliveries, exit notices and
+    unparseable junk are skipped silently — strace output is noisy by
+    nature and a converter must shrug at it.
+    """
+    # (pid, name) -> (time, partial args) for unfinished calls.
+    pending: dict[tuple[int, str], tuple[float, str]] = {}
+
+    for line in lines:
+        line = line.rstrip("\n")
+        resumed = _RESUMED.match(line)
+        if resumed:
+            pid = int(resumed.group("pid") or 0)
+            name = resumed.group("name")
+            start = pending.pop((pid, name), None)
+            if start is None or name not in INTERESTING:
+                continue
+            start_time, head_args = start
+            tail = _COMPLETE_TAIL.match(resumed.group("args"))
+            if not tail:
+                continue
+            try:
+                ret = int(tail.group("ret"))
+            except ValueError:
+                continue
+            yield StraceCall(
+                pid=pid,
+                time=start_time,
+                name=name,
+                args=head_args + tail.group("args"),
+                retval=ret,
+            )
+            continue
+
+        m = _LINE.match(line)
+        if not m:
+            continue
+        pid = int(m.group("pid") or 0)
+        name = m.group("name")
+        rest = m.group("args")
+
+        unfinished = _UNFINISHED.match(rest)
+        if unfinished:
+            if name in INTERESTING:
+                pending[(pid, name)] = (float(m.group("time")), unfinished.group("args"))
+            continue
+
+        if name not in INTERESTING:
+            continue
+        tail = _COMPLETE_TAIL.match(rest)
+        if not tail:
+            continue
+        try:
+            ret = int(tail.group("ret"))
+        except ValueError:
+            continue  # "= ?" (killed mid-call)
+        yield StraceCall(
+            pid=pid,
+            time=float(m.group("time")),
+            name=name,
+            args=tail.group("args"),
+            retval=ret,
+        )
+
+
+def parse_file(source: Union[str, IO[str]]) -> Iterator[StraceCall]:
+    """Parse an strace output file (path or open text handle)."""
+    if hasattr(source, "read"):
+        yield from parse_lines(source)  # type: ignore[arg-type]
+        return
+    with open(source, "r", encoding="utf-8", errors="replace") as fh:
+        yield from parse_lines(fh)

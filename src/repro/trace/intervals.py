@@ -1,0 +1,77 @@
+"""Inter-event interval analysis (paper Section 3.1).
+
+The no-read-write tracing approach bounds the time of each data transfer by
+the trace events on either side of it.  The paper measured the gaps between
+successive events for the same open file and found 75% under 0.5 s, 90%
+under 10 s and 99% under 30 s — tight enough that billing each transfer at
+the time of the next close/seek does not bias interval-averaged results.
+This module reproduces that measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .log import TraceLog
+from .records import CloseEvent, OpenEvent, SeekEvent
+
+__all__ = ["IntervalStats", "event_intervals", "interval_stats"]
+
+
+def event_intervals(log: TraceLog) -> list[float]:
+    """Gaps (seconds) between successive trace events for the same open file.
+
+    Only open/seek/close events participate (they are the events that bound
+    data transfers).  Orphan seeks/closes are ignored.
+    """
+    last_event_time: dict[int, float] = {}
+    gaps: list[float] = []
+    for event in log.events:
+        if isinstance(event, OpenEvent):
+            last_event_time[event.open_id] = event.time
+        elif isinstance(event, SeekEvent):
+            if event.open_id in last_event_time:
+                gaps.append(event.time - last_event_time[event.open_id])
+                last_event_time[event.open_id] = event.time
+        elif isinstance(event, CloseEvent):
+            if event.open_id in last_event_time:
+                gaps.append(event.time - last_event_time.pop(event.open_id))
+    return gaps
+
+
+@dataclass
+class IntervalStats:
+    """Quantiles of the per-open inter-event gap distribution."""
+
+    count: int
+    p75: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def render(self) -> str:
+        return (
+            f"{self.count} inter-event intervals: "
+            f"75% < {self.p75:.2f}s, 90% < {self.p90:.2f}s, "
+            f"99% < {self.p99:.2f}s, max {self.maximum:.2f}s"
+        )
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def interval_stats(log: TraceLog) -> IntervalStats:
+    """The Section 3.1 quantiles (75th/90th/99th percentile gaps)."""
+    gaps = sorted(event_intervals(log))
+    return IntervalStats(
+        count=len(gaps),
+        p75=_quantile(gaps, 0.75),
+        p90=_quantile(gaps, 0.90),
+        p99=_quantile(gaps, 0.99),
+        maximum=gaps[-1] if gaps else 0.0,
+    )

@@ -1,0 +1,201 @@
+"""Compact binary trace format.
+
+The paper's tracer kept records small to bound the data volume (~500-600
+bytes/minute on the traced VAXes); this module serves the same purpose for
+large synthetic traces.  Records are fixed-layout structs behind a one-byte
+kind tag; times are stored as centiseconds (the tracer's 10 ms resolution)
+in an unsigned 32-bit field, giving a maximum trace span of ~497 days.
+
+File layout::
+
+    magic    8 bytes  b"BSDTRC\\x00\\x01"
+    name     u16 length + utf-8 bytes
+    desc     u16 length + utf-8 bytes
+    count    u64 number of events
+    events   count records, each 1-byte tag + struct payload
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import IO, Iterator, Union
+
+from .log import TraceLog
+from .records import (
+    AccessMode,
+    CloseEvent,
+    CreateEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    TraceEvent,
+    TruncateEvent,
+    UnlinkEvent,
+)
+
+__all__ = ["write_binary", "read_binary", "MAGIC"]
+
+MAGIC = b"BSDTRC\x00\x01"
+
+_PathOrFile = Union[str, os.PathLike, IO[bytes]]
+
+_TAG_OPEN = 1
+_TAG_CLOSE = 2
+_TAG_SEEK = 3
+_TAG_CREATE = 4
+_TAG_UNLINK = 5
+_TAG_TRUNC = 6
+_TAG_EXEC = 7
+
+_S_OPEN = struct.Struct("<IIIIQBBBQ")  # time_cs open_id file_id user_id size mode created new pos
+_S_CLOSE = struct.Struct("<IIQ")  # time_cs open_id final_pos
+_S_SEEK = struct.Struct("<IIQQ")  # time_cs open_id prev_pos new_pos
+_S_CREATE = struct.Struct("<III")  # time_cs file_id user_id
+_S_UNLINK = struct.Struct("<II")  # time_cs file_id
+_S_TRUNC = struct.Struct("<IIQ")  # time_cs file_id new_length
+_S_EXEC = struct.Struct("<IIIQ")  # time_cs file_id user_id size
+
+_HEADER_COUNT = struct.Struct("<Q")
+_HEADER_STR = struct.Struct("<H")
+
+
+class BinaryTraceError(ValueError):
+    """Raised when a binary trace file is corrupt or unrecognized."""
+
+
+def _cs(time: float) -> int:
+    return round(time * 100)
+
+
+def _pack_event(event: TraceEvent) -> bytes:
+    if isinstance(event, OpenEvent):
+        return bytes([_TAG_OPEN]) + _S_OPEN.pack(
+            _cs(event.time),
+            event.open_id,
+            event.file_id,
+            event.user_id,
+            event.size,
+            int(event.mode),
+            1 if event.created else 0,
+            1 if event.new_file else 0,
+            event.initial_pos,
+        )
+    if isinstance(event, CloseEvent):
+        return bytes([_TAG_CLOSE]) + _S_CLOSE.pack(
+            _cs(event.time), event.open_id, event.final_pos
+        )
+    if isinstance(event, SeekEvent):
+        return bytes([_TAG_SEEK]) + _S_SEEK.pack(
+            _cs(event.time), event.open_id, event.prev_pos, event.new_pos
+        )
+    if isinstance(event, CreateEvent):
+        return bytes([_TAG_CREATE]) + _S_CREATE.pack(
+            _cs(event.time), event.file_id, event.user_id
+        )
+    if isinstance(event, UnlinkEvent):
+        return bytes([_TAG_UNLINK]) + _S_UNLINK.pack(_cs(event.time), event.file_id)
+    if isinstance(event, TruncateEvent):
+        return bytes([_TAG_TRUNC]) + _S_TRUNC.pack(
+            _cs(event.time), event.file_id, event.new_length
+        )
+    if isinstance(event, ExecEvent):
+        return bytes([_TAG_EXEC]) + _S_EXEC.pack(
+            _cs(event.time), event.file_id, event.user_id, event.size
+        )
+    raise BinaryTraceError(f"cannot serialize event of type {type(event).__name__}")
+
+
+def _read_exact(fh: IO[bytes], n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise BinaryTraceError(f"truncated trace file: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def _unpack_event(tag: int, fh: IO[bytes]) -> TraceEvent:
+    if tag == _TAG_OPEN:
+        t, oid, fid, uid, size, mode, created, new, pos = _S_OPEN.unpack(
+            _read_exact(fh, _S_OPEN.size)
+        )
+        return OpenEvent(
+            time=t / 100.0,
+            open_id=oid,
+            file_id=fid,
+            user_id=uid,
+            size=size,
+            mode=AccessMode(mode),
+            created=bool(created),
+            new_file=bool(new),
+            initial_pos=pos,
+        )
+    if tag == _TAG_CLOSE:
+        t, oid, pos = _S_CLOSE.unpack(_read_exact(fh, _S_CLOSE.size))
+        return CloseEvent(time=t / 100.0, open_id=oid, final_pos=pos)
+    if tag == _TAG_SEEK:
+        t, oid, prev, new = _S_SEEK.unpack(_read_exact(fh, _S_SEEK.size))
+        return SeekEvent(time=t / 100.0, open_id=oid, prev_pos=prev, new_pos=new)
+    if tag == _TAG_CREATE:
+        t, fid, uid = _S_CREATE.unpack(_read_exact(fh, _S_CREATE.size))
+        return CreateEvent(time=t / 100.0, file_id=fid, user_id=uid)
+    if tag == _TAG_UNLINK:
+        t, fid = _S_UNLINK.unpack(_read_exact(fh, _S_UNLINK.size))
+        return UnlinkEvent(time=t / 100.0, file_id=fid)
+    if tag == _TAG_TRUNC:
+        t, fid, length = _S_TRUNC.unpack(_read_exact(fh, _S_TRUNC.size))
+        return TruncateEvent(time=t / 100.0, file_id=fid, new_length=length)
+    if tag == _TAG_EXEC:
+        t, fid, uid, size = _S_EXEC.unpack(_read_exact(fh, _S_EXEC.size))
+        return ExecEvent(time=t / 100.0, file_id=fid, user_id=uid, size=size)
+    raise BinaryTraceError(f"unknown event tag {tag}")
+
+
+def write_binary(log: TraceLog, dest: _PathOrFile) -> int:
+    """Write *log* to *dest* in binary form; returns bytes written."""
+    own = not hasattr(dest, "write")
+    fh: IO[bytes] = open(dest, "wb") if own else dest  # type: ignore[assignment]
+    try:
+        written = 0
+        name = log.name.encode("utf-8")
+        desc = log.description.encode("utf-8")
+        for chunk in (
+            MAGIC,
+            _HEADER_STR.pack(len(name)),
+            name,
+            _HEADER_STR.pack(len(desc)),
+            desc,
+            _HEADER_COUNT.pack(len(log.events)),
+        ):
+            fh.write(chunk)
+            written += len(chunk)
+        for event in log.events:
+            data = _pack_event(event)
+            fh.write(data)
+            written += len(data)
+        return written
+    finally:
+        if own:
+            fh.close()
+
+
+def read_binary(src: _PathOrFile) -> TraceLog:
+    """Read a binary trace file into a :class:`TraceLog`."""
+    own = not hasattr(src, "read")
+    fh: IO[bytes] = open(src, "rb") if own else src  # type: ignore[assignment]
+    try:
+        magic = _read_exact(fh, len(MAGIC))
+        if magic != MAGIC:
+            raise BinaryTraceError("not a binary trace file (bad magic)")
+        (name_len,) = _HEADER_STR.unpack(_read_exact(fh, _HEADER_STR.size))
+        name = _read_exact(fh, name_len).decode("utf-8")
+        (desc_len,) = _HEADER_STR.unpack(_read_exact(fh, _HEADER_STR.size))
+        desc = _read_exact(fh, desc_len).decode("utf-8")
+        (count,) = _HEADER_COUNT.unpack(_read_exact(fh, _HEADER_COUNT.size))
+        events: list[TraceEvent] = []
+        for _ in range(count):
+            tag = _read_exact(fh, 1)[0]
+            events.append(_unpack_event(tag, fh))
+        return TraceLog(name=name, description=desc, events=events)
+    finally:
+        if own:
+            fh.close()

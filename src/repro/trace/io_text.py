@@ -1,0 +1,198 @@
+"""Text (TSV) trace format.
+
+One event per line, tab-separated, first field the event kind.  Header lines
+beginning with ``#`` carry metadata (``# name:``, ``# description:``).  The
+format is meant to be greppable and diffable; the binary format in
+:mod:`repro.trace.io_binary` is ~5x smaller and faster.
+
+Field layouts (after the kind tag)::
+
+    open   time open_id file_id user_id size mode created new_file initial_pos
+    close  time open_id final_pos
+    seek   time open_id prev_pos new_pos
+    create time file_id user_id
+    unlink time file_id
+    trunc  time file_id new_length
+    exec   time file_id user_id size
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterable, Iterator, Union
+
+from .log import TraceLog
+from .records import (
+    AccessMode,
+    CloseEvent,
+    CreateEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    TraceEvent,
+    TruncateEvent,
+    UnlinkEvent,
+)
+
+__all__ = ["write_text", "read_text", "format_event", "parse_event_line"]
+
+_PathOrFile = Union[str, os.PathLike, IO[str]]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+
+def format_event(event: TraceEvent) -> str:
+    """Serialize one event to its TSV line (no trailing newline)."""
+    t = f"{event.time:.2f}"
+    if isinstance(event, OpenEvent):
+        return "\t".join(
+            (
+                "open",
+                t,
+                str(event.open_id),
+                str(event.file_id),
+                str(event.user_id),
+                str(event.size),
+                event.mode.label,
+                "1" if event.created else "0",
+                "1" if event.new_file else "0",
+                str(event.initial_pos),
+            )
+        )
+    if isinstance(event, CloseEvent):
+        return "\t".join(("close", t, str(event.open_id), str(event.final_pos)))
+    if isinstance(event, SeekEvent):
+        return "\t".join(
+            ("seek", t, str(event.open_id), str(event.prev_pos), str(event.new_pos))
+        )
+    if isinstance(event, CreateEvent):
+        return "\t".join(("create", t, str(event.file_id), str(event.user_id)))
+    if isinstance(event, UnlinkEvent):
+        return "\t".join(("unlink", t, str(event.file_id)))
+    if isinstance(event, TruncateEvent):
+        return "\t".join(("trunc", t, str(event.file_id), str(event.new_length)))
+    if isinstance(event, ExecEvent):
+        return "\t".join(
+            ("exec", t, str(event.file_id), str(event.user_id), str(event.size))
+        )
+    raise TraceFormatError(f"cannot serialize event of type {type(event).__name__}")
+
+
+def parse_event_line(line: str) -> TraceEvent:
+    """Parse one TSV line back into an event."""
+    fields = line.rstrip("\n").split("\t")
+    kind = fields[0]
+    try:
+        if kind == "open":
+            return OpenEvent(
+                time=float(fields[1]),
+                open_id=int(fields[2]),
+                file_id=int(fields[3]),
+                user_id=int(fields[4]),
+                size=int(fields[5]),
+                mode=AccessMode.from_label(fields[6]),
+                created=fields[7] == "1",
+                new_file=fields[8] == "1",
+                initial_pos=int(fields[9]),
+            )
+        if kind == "close":
+            return CloseEvent(
+                time=float(fields[1]), open_id=int(fields[2]), final_pos=int(fields[3])
+            )
+        if kind == "seek":
+            return SeekEvent(
+                time=float(fields[1]),
+                open_id=int(fields[2]),
+                prev_pos=int(fields[3]),
+                new_pos=int(fields[4]),
+            )
+        if kind == "create":
+            return CreateEvent(
+                time=float(fields[1]), file_id=int(fields[2]), user_id=int(fields[3])
+            )
+        if kind == "unlink":
+            return UnlinkEvent(time=float(fields[1]), file_id=int(fields[2]))
+        if kind == "trunc":
+            return TruncateEvent(
+                time=float(fields[1]), file_id=int(fields[2]), new_length=int(fields[3])
+            )
+        if kind == "exec":
+            return ExecEvent(
+                time=float(fields[1]),
+                file_id=int(fields[2]),
+                user_id=int(fields[3]),
+                size=int(fields[4]),
+            )
+    except (IndexError, ValueError) as exc:
+        raise TraceFormatError(f"malformed {kind!r} record: {line!r}") from exc
+    raise TraceFormatError(f"unknown event kind {kind!r} in line {line!r}")
+
+
+def _open_for_write(dest: _PathOrFile) -> tuple[IO[str], bool]:
+    if hasattr(dest, "write"):
+        return dest, False  # type: ignore[return-value]
+    return open(dest, "w", encoding="utf-8"), True
+
+
+def _open_for_read(src: _PathOrFile) -> tuple[IO[str], bool]:
+    if hasattr(src, "read"):
+        return src, False  # type: ignore[return-value]
+    return open(src, "r", encoding="utf-8"), True
+
+
+def write_text(log: TraceLog, dest: _PathOrFile) -> int:
+    """Write *log* to *dest* (path or text file object).  Returns the number
+    of events written."""
+    fh, should_close = _open_for_write(dest)
+    try:
+        fh.write(f"# name: {log.name}\n")
+        if log.description:
+            fh.write(f"# description: {log.description}\n")
+        count = 0
+        for event in log.events:
+            fh.write(format_event(event))
+            fh.write("\n")
+            count += 1
+        return count
+    finally:
+        if should_close:
+            fh.close()
+
+
+def iter_text(src: _PathOrFile) -> Iterator[TraceEvent]:
+    """Stream events from a text trace without materializing a list."""
+    fh, should_close = _open_for_read(src)
+    try:
+        for line in fh:
+            if not line.strip() or line.startswith("#"):
+                continue
+            yield parse_event_line(line)
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_text(src: _PathOrFile) -> TraceLog:
+    """Read a text trace file into a :class:`TraceLog`."""
+    fh, should_close = _open_for_read(src)
+    try:
+        name = "trace"
+        description = ""
+        events: list[TraceEvent] = []
+        for line in fh:
+            if line.startswith("# name:"):
+                name = line.split(":", 1)[1].strip()
+                continue
+            if line.startswith("# description:"):
+                description = line.split(":", 1)[1].strip()
+                continue
+            if not line.strip() or line.startswith("#"):
+                continue
+            events.append(parse_event_line(line))
+        return TraceLog(name=name, description=description, events=events)
+    finally:
+        if should_close:
+            fh.close()

@@ -1,0 +1,211 @@
+"""Trace manipulation: filtering, merging, renumbering.
+
+These are utilities a trace-study toolkit needs in practice: restrict a
+trace to one user, merge traces gathered on different machines, or shift a
+trace's time base.  Operations preserve the tracer invariants checked by
+:mod:`repro.trace.validate` — in particular, filters keep an open's close
+and seek events together with its open event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from .log import TraceLog
+from .records import (
+    CloseEvent,
+    CreateEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    TraceEvent,
+    TruncateEvent,
+    UnlinkEvent,
+)
+
+__all__ = ["filter_users", "filter_files", "shift_time", "merge", "renumber_opens"]
+
+
+def filter_users(log: TraceLog, user_ids: Iterable[int], name: str | None = None) -> TraceLog:
+    """Events attributable to any of *user_ids*.
+
+    Opens carry a user id directly; the matching seek/close events follow
+    their open.  Unlink/truncate events carry no user id in the paper's
+    format, so they are kept when they touch a file id that one of the users
+    has opened or created (a conservative over-approximation).
+    """
+    users = set(user_ids)
+    kept_opens: set[int] = set()
+    touched_files: set[int] = set()
+    events: list[TraceEvent] = []
+    for event in log.events:
+        if isinstance(event, OpenEvent):
+            if event.user_id in users:
+                kept_opens.add(event.open_id)
+                touched_files.add(event.file_id)
+                events.append(event)
+        elif isinstance(event, (SeekEvent, CloseEvent)):
+            if event.open_id in kept_opens:
+                events.append(event)
+        elif isinstance(event, (CreateEvent, ExecEvent)):
+            if event.user_id in users:
+                touched_files.add(event.file_id)
+                events.append(event)
+        elif isinstance(event, (UnlinkEvent, TruncateEvent)):
+            if event.file_id in touched_files:
+                events.append(event)
+    return TraceLog(
+        name=name or f"{log.name}/users",
+        description=log.description,
+        events=events,
+    )
+
+
+def filter_files(log: TraceLog, file_ids: Iterable[int], name: str | None = None) -> TraceLog:
+    """Events that touch any of *file_ids* (opens drag their seeks/closes)."""
+    files = set(file_ids)
+    kept_opens: set[int] = set()
+    events: list[TraceEvent] = []
+    for event in log.events:
+        if isinstance(event, OpenEvent):
+            if event.file_id in files:
+                kept_opens.add(event.open_id)
+                events.append(event)
+        elif isinstance(event, (SeekEvent, CloseEvent)):
+            if event.open_id in kept_opens:
+                events.append(event)
+        elif isinstance(event, (CreateEvent, UnlinkEvent, TruncateEvent, ExecEvent)):
+            if event.file_id in files:
+                events.append(event)
+    return TraceLog(
+        name=name or f"{log.name}/files",
+        description=log.description,
+        events=events,
+    )
+
+
+def shift_time(log: TraceLog, delta: float, name: str | None = None) -> TraceLog:
+    """A copy of *log* with every timestamp shifted by *delta* seconds."""
+    shifted = [_replace_time(e, e.time + delta) for e in log.events]
+    return TraceLog(
+        name=name or log.name, description=log.description, events=shifted
+    )
+
+
+def _replace_time(event: TraceEvent, time: float) -> TraceEvent:
+    kwargs = {
+        slot: getattr(event, slot) for slot in event.__dataclass_fields__
+    }
+    kwargs["time"] = time
+    return type(event)(**kwargs)
+
+
+def renumber_opens(
+    log: TraceLog,
+    open_id_base: int = 0,
+    file_id_base: int = 0,
+    user_id_base: int = 0,
+) -> TraceLog:
+    """Rewrite ids with dense values starting at the given bases.
+
+    Useful before merging traces whose id spaces collide.
+    """
+    open_map: dict[int, int] = {}
+    file_map: dict[int, int] = {}
+    user_map: dict[int, int] = {}
+
+    def new_open(oid: int) -> int:
+        return open_map.setdefault(oid, open_id_base + len(open_map))
+
+    def new_file(fid: int) -> int:
+        return file_map.setdefault(fid, file_id_base + len(file_map))
+
+    def new_user(uid: int) -> int:
+        return user_map.setdefault(uid, user_id_base + len(user_map))
+
+    events: list[TraceEvent] = []
+    for e in log.events:
+        if isinstance(e, OpenEvent):
+            events.append(
+                OpenEvent(
+                    time=e.time,
+                    open_id=new_open(e.open_id),
+                    file_id=new_file(e.file_id),
+                    user_id=new_user(e.user_id),
+                    size=e.size,
+                    mode=e.mode,
+                    created=e.created,
+                    new_file=e.new_file,
+                    initial_pos=e.initial_pos,
+                )
+            )
+        elif isinstance(e, SeekEvent):
+            events.append(
+                SeekEvent(
+                    time=e.time,
+                    open_id=new_open(e.open_id),
+                    prev_pos=e.prev_pos,
+                    new_pos=e.new_pos,
+                )
+            )
+        elif isinstance(e, CloseEvent):
+            events.append(
+                CloseEvent(
+                    time=e.time, open_id=new_open(e.open_id), final_pos=e.final_pos
+                )
+            )
+        elif isinstance(e, CreateEvent):
+            events.append(
+                CreateEvent(
+                    time=e.time, file_id=new_file(e.file_id), user_id=new_user(e.user_id)
+                )
+            )
+        elif isinstance(e, UnlinkEvent):
+            events.append(UnlinkEvent(time=e.time, file_id=new_file(e.file_id)))
+        elif isinstance(e, TruncateEvent):
+            events.append(
+                TruncateEvent(
+                    time=e.time, file_id=new_file(e.file_id), new_length=e.new_length
+                )
+            )
+        elif isinstance(e, ExecEvent):
+            events.append(
+                ExecEvent(
+                    time=e.time,
+                    file_id=new_file(e.file_id),
+                    user_id=new_user(e.user_id),
+                    size=e.size,
+                )
+            )
+    return TraceLog(name=log.name, description=log.description, events=events)
+
+
+def merge(logs: list[TraceLog], name: str = "merged") -> TraceLog:
+    """Merge several traces into one time-ordered trace.
+
+    Each input is renumbered into a disjoint id space first, so opens from
+    different machines can never collide.  The merge is a heap merge, so it
+    is O(n log k) in the total event count.
+    """
+    disjoint: list[TraceLog] = []
+    open_base = file_base = user_base = 0
+    for log in logs:
+        renum = renumber_opens(
+            log,
+            open_id_base=open_base,
+            file_id_base=file_base,
+            user_id_base=user_base,
+        )
+        disjoint.append(renum)
+        open_base += sum(1 for e in log.events if isinstance(e, OpenEvent))
+        file_base += len(log.file_ids()) or len(log.events)
+        user_base += len(log.user_ids()) + 1
+    merged = list(
+        heapq.merge(*(d.events for d in disjoint), key=lambda e: e.time)
+    )
+    return TraceLog(
+        name=name,
+        description="merge of " + ", ".join(log.name for log in logs),
+        events=merged,
+    )

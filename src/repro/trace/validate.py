@@ -1,0 +1,98 @@
+"""Trace integrity checking.
+
+A well-formed trace satisfies the invariants the kernel tracer guarantees:
+times are non-decreasing, every close/seek refers to a previously opened
+``open_id``, an ``open_id`` is opened at most once and closed at most once,
+and positions never go negative.  The workload generator is tested against
+these invariants, and traces converted from foreign sources (strace) are
+validated before analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .log import TraceLog
+from .records import CloseEvent, OpenEvent, SeekEvent, TruncateEvent
+
+__all__ = ["ValidationReport", "validate"]
+
+
+@dataclass
+class ValidationReport:
+    """Result of :func:`validate`: counts plus a bounded list of problems."""
+
+    event_count: int = 0
+    open_count: int = 0
+    unmatched_opens: int = 0  # opens never closed (legal: file open at trace end)
+    problems: list[str] = field(default_factory=list)
+    max_problems: int = 50
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, message: str) -> None:
+        if len(self.problems) < self.max_problems:
+            self.problems.append(message)
+        elif len(self.problems) == self.max_problems:
+            self.problems.append("... further problems suppressed")
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.problems)} problem(s)"
+        return (
+            f"validation: {status}; {self.event_count} events, "
+            f"{self.open_count} opens, {self.unmatched_opens} never closed"
+        )
+
+
+def validate(log: TraceLog) -> ValidationReport:
+    """Check *log* against the tracer invariants and return a report."""
+    report = ValidationReport(event_count=len(log.events))
+    open_positions: dict[int, int] = {}
+    closed: set[int] = set()
+    last_time = float("-inf")
+
+    for i, event in enumerate(log.events):
+        if event.time < last_time:
+            report.add(
+                f"event {i}: time {event.time} precedes previous {last_time}"
+            )
+        last_time = event.time
+
+        if isinstance(event, OpenEvent):
+            report.open_count += 1
+            if event.open_id in open_positions:
+                report.add(f"event {i}: open_id {event.open_id} opened twice")
+            if event.open_id in closed:
+                report.add(f"event {i}: open_id {event.open_id} reused after close")
+            if event.size < 0 or event.initial_pos < 0:
+                report.add(f"event {i}: negative size/position on open")
+            if event.initial_pos > event.size:
+                report.add(
+                    f"event {i}: open initial_pos {event.initial_pos} beyond "
+                    f"size {event.size}"
+                )
+            open_positions[event.open_id] = event.initial_pos
+        elif isinstance(event, SeekEvent):
+            if event.open_id not in open_positions:
+                report.add(f"event {i}: seek on unknown open_id {event.open_id}")
+            if event.prev_pos < 0 or event.new_pos < 0:
+                report.add(f"event {i}: negative seek position")
+            open_positions[event.open_id] = event.new_pos
+        elif isinstance(event, CloseEvent):
+            if event.open_id not in open_positions:
+                report.add(f"event {i}: close on unknown open_id {event.open_id}")
+            else:
+                del open_positions[event.open_id]
+            if event.open_id in closed:
+                report.add(f"event {i}: open_id {event.open_id} closed twice")
+            closed.add(event.open_id)
+            if event.final_pos < 0:
+                report.add(f"event {i}: negative final position on close")
+        elif isinstance(event, TruncateEvent):
+            if event.new_length < 0:
+                report.add(f"event {i}: truncate to negative length")
+
+    report.unmatched_opens = len(open_positions)
+    return report

@@ -1,0 +1,82 @@
+"""A simulated 4.2 BSD file system with a kernel trace hook.
+
+This package is the substrate the paper's instrumented kernel provided:
+inodes with an in-core inode cache, directories with a name-lookup cache,
+an FFS-style block/fragment allocator, an open-file table, a live kernel
+buffer cache, and a trace package that logs the Table II events (open,
+close, seek, create, unlink, truncate, execve) — and deliberately nothing
+at read/write time.
+"""
+
+from .allocator import AllocatorStats, BlockAllocator, Extent
+from .buffercache import BufferCache, BufferCacheStats
+from .check import FsckReport, fsck
+from .content import ContentStore, MemoryContentStore, NullContentStore
+from .errors import (
+    EACCES,
+    EBADF,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    EMFILE,
+    ENOENT,
+    ENOSPC,
+    ENOTDIR,
+    ENOTEMPTY,
+    EXDEV,
+    UnixFsError,
+)
+from .fdtable import FdTable, OpenFile
+from .filesystem import FileSystem, StatResult, Whence
+from .geometry import DEFAULT_GEOMETRY, Geometry
+from .inode import CacheCounters, FileType, Inode, InodeCache, InodeTable
+from .namei import Dnlc, NameResolver, parent_path, split_path
+from .snapshot import dict_to_tree, load_tree, save_tree, tree_to_dict
+from .tracer import KernelTracer, NullTracer
+
+__all__ = [
+    "FileSystem",
+    "Whence",
+    "StatResult",
+    "Geometry",
+    "DEFAULT_GEOMETRY",
+    "BlockAllocator",
+    "Extent",
+    "AllocatorStats",
+    "BufferCache",
+    "BufferCacheStats",
+    "fsck",
+    "FsckReport",
+    "save_tree",
+    "load_tree",
+    "tree_to_dict",
+    "dict_to_tree",
+    "ContentStore",
+    "NullContentStore",
+    "MemoryContentStore",
+    "FdTable",
+    "OpenFile",
+    "FileType",
+    "Inode",
+    "InodeTable",
+    "InodeCache",
+    "CacheCounters",
+    "Dnlc",
+    "NameResolver",
+    "split_path",
+    "parent_path",
+    "KernelTracer",
+    "NullTracer",
+    "UnixFsError",
+    "ENOENT",
+    "EEXIST",
+    "EBADF",
+    "EISDIR",
+    "ENOTDIR",
+    "ENOTEMPTY",
+    "EINVAL",
+    "ENOSPC",
+    "EACCES",
+    "EMFILE",
+    "EXDEV",
+]

@@ -1,0 +1,99 @@
+"""Error hierarchy for the simulated file system.
+
+Mirrors the UNIX errno values a 4.2 BSD syscall layer returns.  Each error
+class is named after the errno it models, so call sites read like kernel
+code (``raise ENOENT(path)``) and tests can assert on specific conditions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "UnixFsError",
+    "ENOENT",
+    "EEXIST",
+    "EBADF",
+    "EISDIR",
+    "ENOTDIR",
+    "ENOTEMPTY",
+    "EINVAL",
+    "ENOSPC",
+    "EACCES",
+    "EMFILE",
+    "EXDEV",
+]
+
+
+class UnixFsError(Exception):
+    """Base class for all simulated file-system errors."""
+
+    errno_name = "EIO"
+
+    def __init__(self, detail: str = ""):
+        self.detail = detail
+        super().__init__(f"[{self.errno_name}] {detail}" if detail else self.errno_name)
+
+
+class ENOENT(UnixFsError):
+    """No such file or directory."""
+
+    errno_name = "ENOENT"
+
+
+class EEXIST(UnixFsError):
+    """File exists."""
+
+    errno_name = "EEXIST"
+
+
+class EBADF(UnixFsError):
+    """Bad file descriptor."""
+
+    errno_name = "EBADF"
+
+
+class EISDIR(UnixFsError):
+    """Is a directory."""
+
+    errno_name = "EISDIR"
+
+
+class ENOTDIR(UnixFsError):
+    """Not a directory."""
+
+    errno_name = "ENOTDIR"
+
+
+class ENOTEMPTY(UnixFsError):
+    """Directory not empty."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class EINVAL(UnixFsError):
+    """Invalid argument."""
+
+    errno_name = "EINVAL"
+
+
+class ENOSPC(UnixFsError):
+    """No space left on device."""
+
+    errno_name = "ENOSPC"
+
+
+class EACCES(UnixFsError):
+    """Permission denied."""
+
+    errno_name = "EACCES"
+
+
+class EMFILE(UnixFsError):
+    """Too many open files."""
+
+    errno_name = "EMFILE"
+
+
+class EXDEV(UnixFsError):
+    """Cross-device link (rename across file systems)."""
+
+    errno_name = "EXDEV"

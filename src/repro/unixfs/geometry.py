@@ -1,0 +1,93 @@
+"""Disk geometry / superblock parameters.
+
+4.2 BSD's fast file system allocates space in *blocks* (4096 bytes in most
+systems of the era) subdivided into *fragments* (here block/4) so that the
+tail of a small file does not waste a whole block — the multi-block-size
+scheme the paper credits with making large cache blocks affordable on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import EINVAL
+
+__all__ = ["Geometry", "DEFAULT_GEOMETRY"]
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Immutable file-system geometry.
+
+    ``block_size`` and ``frag_size`` must be powers of two with at most 8
+    fragments per block, matching the FFS constraint.
+    """
+
+    block_size: int = 4096
+    frag_size: int = 1024
+    total_bytes: int = 512 * 1024 * 1024
+
+    def __post_init__(self):
+        if not _is_power_of_two(self.block_size):
+            raise EINVAL(f"block size {self.block_size} not a power of two")
+        if not _is_power_of_two(self.frag_size):
+            raise EINVAL(f"fragment size {self.frag_size} not a power of two")
+        if self.frag_size > self.block_size:
+            raise EINVAL("fragment size exceeds block size")
+        if self.block_size // self.frag_size > 8:
+            raise EINVAL("more than 8 fragments per block")
+        if self.total_bytes % self.block_size:
+            raise EINVAL("device size not a whole number of blocks")
+
+    @property
+    def frags_per_block(self) -> int:
+        return self.block_size // self.frag_size
+
+    @property
+    def total_blocks(self) -> int:
+        return self.total_bytes // self.block_size
+
+    @property
+    def total_frags(self) -> int:
+        return self.total_bytes // self.frag_size
+
+    def blocks_for(self, size: int) -> int:
+        """Number of full blocks a file of *size* bytes spans (ceiling)."""
+        return -(-size // self.block_size)
+
+    def frags_for(self, size: int) -> int:
+        """Number of fragments needed to hold *size* bytes (ceiling)."""
+        return -(-size // self.frag_size)
+
+    def allocation_for(self, size: int) -> tuple[int, int]:
+        """FFS-style allocation for a file of *size* bytes.
+
+        Returns ``(full_blocks, tail_frags)``: every block but the last is a
+        full block; the tail is rounded up to fragments.  A tail that needs
+        all the block's fragments is counted as a full block.
+        """
+        if size < 0:
+            raise EINVAL(f"negative size {size}")
+        if size == 0:
+            return (0, 0)
+        full = size // self.block_size
+        tail = size - full * self.block_size
+        if tail == 0:
+            return (full, 0)
+        tail_frags = -(-tail // self.frag_size)
+        if tail_frags == self.frags_per_block:
+            return (full + 1, 0)
+        return (full, tail_frags)
+
+    def allocated_bytes(self, size: int) -> int:
+        """On-disk bytes consumed by a file of *size* logical bytes."""
+        full, frags = self.allocation_for(size)
+        return full * self.block_size + frags * self.frag_size
+
+
+#: Geometry of a typical 4.2 BSD file system of the paper's era.
+DEFAULT_GEOMETRY = Geometry()

@@ -1,0 +1,86 @@
+"""Tree snapshots: save and restore a file system's namespace.
+
+The traced machines' disks were already populated when tracing began; a
+reproducible study wants to pin that starting state.  A snapshot records
+the directory tree with every file's path, owner and size as JSON; loading
+it replays the tree through the ordinary syscall layer, so the restored
+system is a legitimate file system state (allocator, caches and counters
+all consistent), ready for a workload run.
+
+Snapshots capture *shape*, not payload bytes: inode numbers, file ids and
+timestamps are assigned fresh on load (they are kernel-internal), and
+content restores as zeros under a :class:`NullContentStore` — which is all
+a trace study needs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..trace.records import AccessMode
+from .filesystem import FileSystem
+from .inode import FileType
+
+__all__ = ["tree_to_dict", "dict_to_tree", "save_tree", "load_tree"]
+
+_FORMAT = "repro-fs-tree-v1"
+
+
+def tree_to_dict(fs: FileSystem) -> dict[str, Any]:
+    """Capture *fs*'s namespace (directories and files with sizes)."""
+    directories: list[str] = []
+    files: list[dict[str, Any]] = []
+
+    def walk(inum: int, path: str) -> None:
+        inode = fs.inodes.get(inum)
+        for name in sorted(inode.entries):
+            child_inum = inode.entries[name]
+            child = fs.inodes.get(child_inum)
+            child_path = f"{path.rstrip('/')}/{name}"
+            if child.type is FileType.DIRECTORY:
+                directories.append(child_path)
+                walk(child_inum, child_path)
+            else:
+                files.append(
+                    {"path": child_path, "size": child.size, "uid": child.uid}
+                )
+
+    walk(fs.root_inum, "/")
+    return {"format": _FORMAT, "directories": directories, "files": files}
+
+
+def dict_to_tree(fs: FileSystem, data: dict[str, Any]) -> int:
+    """Replay a snapshot into (an empty) *fs*; returns files created."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a tree snapshot (format {data.get('format')!r})"
+        )
+    for path in data["directories"]:
+        if not fs.exists(path):
+            fs.makedirs(path)
+    for entry in data["files"]:
+        fd = fs.open(
+            entry["path"], AccessMode.WRITE, uid=int(entry.get("uid", 0)),
+            create=True, truncate=True,
+        )
+        try:
+            size = int(entry["size"])
+            if size:
+                fs.write(fd, size)
+        finally:
+            fs.close(fd)
+    return len(data["files"])
+
+
+def save_tree(fs: FileSystem, path: str) -> None:
+    """Write *fs*'s namespace snapshot as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(tree_to_dict(fs), fh, indent=1)
+        fh.write("\n")
+
+
+def load_tree(fs: FileSystem, path: str) -> int:
+    """Restore a snapshot file into *fs*; returns files created."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return dict_to_tree(fs, json.load(fh))

@@ -1,0 +1,160 @@
+"""The kernel trace hook.
+
+The paper's kernel modification (based on Lukac's trace package) logged the
+Table II events from inside the system-call layer.  :class:`KernelTracer`
+is our equivalent: the file system calls its ``on_*`` methods from the
+corresponding syscalls, and it appends quantized records to a
+:class:`~repro.trace.log.TraceLog`.  A :class:`NullTracer` is substituted
+when tracing is off, so the syscall layer never branches on a flag.
+
+Crucially, there are **no hooks for read and write** — exactly the paper's
+design.  Positions captured at open, seek and close are the only record of
+data movement.
+"""
+
+from __future__ import annotations
+
+from ..trace.log import TraceLog
+from ..trace.records import (
+    AccessMode,
+    CloseEvent,
+    CreateEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    TruncateEvent,
+    UnlinkEvent,
+    quantize_time,
+)
+
+__all__ = ["NullTracer", "KernelTracer"]
+
+
+class NullTracer:
+    """A tracer that records nothing (tracing disabled)."""
+
+    def next_open_id(self) -> int:
+        """Open ids are still handed out so the kernel's bookkeeping does
+        not depend on whether tracing is enabled."""
+        return 0
+
+    def on_open(
+        self,
+        time: float,
+        open_id: int,
+        file_id: int,
+        user_id: int,
+        size: int,
+        mode: AccessMode,
+        created: bool,
+        new_file: bool,
+        initial_pos: int,
+    ) -> None:
+        pass
+
+    def on_close(self, time: float, open_id: int, final_pos: int) -> None:
+        pass
+
+    def on_seek(self, time: float, open_id: int, prev_pos: int, new_pos: int) -> None:
+        pass
+
+    def on_create(self, time: float, file_id: int, user_id: int) -> None:
+        pass
+
+    def on_unlink(self, time: float, file_id: int) -> None:
+        pass
+
+    def on_truncate(self, time: float, file_id: int, new_length: int) -> None:
+        pass
+
+    def on_exec(self, time: float, file_id: int, user_id: int, size: int) -> None:
+        pass
+
+
+class KernelTracer(NullTracer):
+    """Appends Table II records to a trace log.
+
+    Times are quantized to the 10 ms tracer resolution, and made
+    non-decreasing after quantization (two syscalls within one tick get the
+    same timestamp, as on the real system).
+    """
+
+    def __init__(self, log: TraceLog | None = None, name: str = "trace"):
+        self.log = log if log is not None else TraceLog(name=name)
+        self._next_open_id = 1
+        self._last_time = 0.0
+
+    def next_open_id(self) -> int:
+        open_id = self._next_open_id
+        self._next_open_id += 1
+        return open_id
+
+    def _time(self, time: float) -> float:
+        t = quantize_time(time)
+        if t < self._last_time:
+            t = self._last_time
+        self._last_time = t
+        return t
+
+    def on_open(
+        self,
+        time: float,
+        open_id: int,
+        file_id: int,
+        user_id: int,
+        size: int,
+        mode: AccessMode,
+        created: bool,
+        new_file: bool,
+        initial_pos: int,
+    ) -> None:
+        self.log.append(
+            OpenEvent(
+                time=self._time(time),
+                open_id=open_id,
+                file_id=file_id,
+                user_id=user_id,
+                size=size,
+                mode=mode,
+                created=created,
+                new_file=new_file,
+                initial_pos=initial_pos,
+            )
+        )
+
+    def on_close(self, time: float, open_id: int, final_pos: int) -> None:
+        self.log.append(
+            CloseEvent(time=self._time(time), open_id=open_id, final_pos=final_pos)
+        )
+
+    def on_seek(self, time: float, open_id: int, prev_pos: int, new_pos: int) -> None:
+        self.log.append(
+            SeekEvent(
+                time=self._time(time),
+                open_id=open_id,
+                prev_pos=prev_pos,
+                new_pos=new_pos,
+            )
+        )
+
+    def on_create(self, time: float, file_id: int, user_id: int) -> None:
+        self.log.append(
+            CreateEvent(time=self._time(time), file_id=file_id, user_id=user_id)
+        )
+
+    def on_unlink(self, time: float, file_id: int) -> None:
+        self.log.append(UnlinkEvent(time=self._time(time), file_id=file_id))
+
+    def on_truncate(self, time: float, file_id: int, new_length: int) -> None:
+        self.log.append(
+            TruncateEvent(
+                time=self._time(time), file_id=file_id, new_length=new_length
+            )
+        )
+
+    def on_exec(self, time: float, file_id: int, user_id: int, size: int) -> None:
+        self.log.append(
+            ExecEvent(
+                time=self._time(time), file_id=file_id, user_id=user_id, size=size
+            )
+        )

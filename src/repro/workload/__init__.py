@@ -1,0 +1,53 @@
+"""Synthetic workload engine.
+
+Substitutes for the paper's three instrumented production VAXes: a
+discrete-event simulation of user sessions running application models
+(compiles, editing, mail, shells, CAD tools, print spooling, the 4.2 BSD
+network status daemons) against the simulated file system, with per-machine
+profiles calibrated to reproduce the distributions the paper measured.
+"""
+
+from .apps import ACTIVITIES, AppContext
+from .distributions import (
+    BurstyThinkTime,
+    Mixture,
+    WeightedChoice,
+    bounded_exponential,
+    bounded_lognormal,
+    zipf_weights,
+)
+from .engine import Engine, Process
+from .generator import GenerationResult, generate, generate_trace
+from .namespace import Namespace, NamespaceConfig, build_namespace
+from .profile_io import load_profile, profile_from_dict, profile_to_dict, save_profile
+from .profiles import PROFILES, UCBARPA, UCBCAD, UCBERNIE, MachineProfile
+from .users import user_session
+
+__all__ = [
+    "generate",
+    "generate_trace",
+    "GenerationResult",
+    "MachineProfile",
+    "UCBARPA",
+    "UCBERNIE",
+    "UCBCAD",
+    "PROFILES",
+    "profile_from_dict",
+    "profile_to_dict",
+    "load_profile",
+    "save_profile",
+    "Engine",
+    "Process",
+    "Namespace",
+    "NamespaceConfig",
+    "build_namespace",
+    "AppContext",
+    "ACTIVITIES",
+    "user_session",
+    "BurstyThinkTime",
+    "WeightedChoice",
+    "Mixture",
+    "bounded_lognormal",
+    "bounded_exponential",
+    "zipf_weights",
+]

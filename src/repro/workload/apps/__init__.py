@@ -1,0 +1,59 @@
+"""Application behaviour models.
+
+Each activity is a generator factory ``f(ctx) -> Process`` performing one
+user-visible action.  :data:`ACTIVITIES` is the registry the machine
+profiles select from by name.
+"""
+
+from .admin import check_log, lookup_table, record_login, update_table
+from .base import AppContext
+from .cad import design_rule_check, layout_edit, simulate_circuit
+from .compiler import compile_file, run_tests
+from .editor import edit_session, quick_edit
+from .formatter import format_document
+from .mail import read_mail, send_mail
+from .shell import login, run_command
+from .spooler import print_file
+from .statusdaemon import status_daemon
+
+#: Name -> activity factory, for profile mixes.
+ACTIVITIES = {
+    "compile": compile_file,
+    "run_tests": run_tests,
+    "edit": edit_session,
+    "quick_edit": quick_edit,
+    "shell": run_command,
+    "send_mail": send_mail,
+    "read_mail": read_mail,
+    "lookup_table": lookup_table,
+    "update_table": update_table,
+    "check_log": check_log,
+    "print": print_file,
+    "format": format_document,
+    "cad_simulate": simulate_circuit,
+    "cad_layout": layout_edit,
+    "cad_drc": design_rule_check,
+}
+
+__all__ = [
+    "ACTIVITIES",
+    "AppContext",
+    "compile_file",
+    "run_tests",
+    "edit_session",
+    "quick_edit",
+    "run_command",
+    "login",
+    "send_mail",
+    "read_mail",
+    "record_login",
+    "lookup_table",
+    "update_table",
+    "check_log",
+    "print_file",
+    "format_document",
+    "simulate_circuit",
+    "layout_edit",
+    "design_rule_check",
+    "status_daemon",
+]

@@ -1,0 +1,85 @@
+"""Administrative-file activities.
+
+Figure 2 shows that "a few very large administrative files account for
+almost 20% of all file accesses.  These files are each around 1 Mbyte in
+size and are used for network tables, a log of all logins, and other
+information.  They are typically accessed by positioning within the file
+and then reading or writing a small amount of data."  These activities
+produce exactly that traffic: appends to the login log, positioned reads
+of the network tables, and occasional read-modify-write updates (the
+non-sequential read-write mode of Table V).
+"""
+
+from __future__ import annotations
+
+from .base import AppContext, append_file, read_at, update_in_place
+
+__all__ = ["record_login", "lookup_table", "update_table", "check_log"]
+
+
+def record_login(ctx: AppContext):
+    """Append one accounting record to the login log (wtmp-style)."""
+    log = ctx.ns.admin_files[0]
+    yield from append_file(ctx, log, ctx.rng.randint(512, 4096))
+
+
+def check_log(ctx: AppContext):
+    """Read the recent tail of the login log (``last``-style).
+
+    One reposition near the end followed by a substantial sequential read:
+    a seek-then-sequential access that moves real bytes, part of why only
+    about half of all *bytes* travel in whole-file transfers (Table V)
+    even though most *accesses* are whole-file.
+    """
+    rng = ctx.rng
+    log = rng.choice(ctx.ns.admin_files)
+    size = ctx.size_of(log)
+    want = rng.randint(16 * 1024, 96 * 1024)
+    offset = max(0, size - want)
+    yield from read_at(ctx, log, offset, min(want, size))
+
+
+def lookup_table(ctx: AppContext):
+    """Position into the network tables and read an entry or three.
+
+    Each lookup is its own short open — "typically accessed by positioning
+    within the file and then reading ... a small amount of data" — so this
+    activity contributes several of the seek-then-sequential accesses that
+    make up roughly a quarter of all read-only opens in Table V.
+    """
+    rng = ctx.rng
+    for _ in range(rng.randint(1, 3)):
+        table = rng.choice(ctx.ns.admin_files)
+        offset = ctx.ns.pick_admin_offset(rng, table)
+        yield from read_at(ctx, table, offset, rng.randint(256, 2048))
+        yield ctx.delay()
+
+
+def update_table(ctx: AppContext):
+    """Read-modify-write several entries in place (open read-write).
+
+    Chunky touches (4–16 KB) so the non-sequential mode carries a real
+    share of the bytes, as in the paper's Table V byte totals.
+    """
+    rng = ctx.rng
+    table = rng.choice(ctx.ns.admin_files)
+    if rng.random() < 0.35:
+        # A rebuild pass scans the table sequentially through the same
+        # read-write descriptor — the minority of read-write opens that
+        # Table V counts as sequential (19–35% in the paper).
+        from ...trace.records import AccessMode
+
+        fd = ctx.fs.open(table, AccessMode.READ_WRITE, uid=ctx.uid)
+        try:
+            size = ctx.fs.fds.get(fd).inode.size
+            remaining = min(size, rng.randint(64, 256) * 1024)
+            while remaining > 0:
+                ctx.fs.read(fd, min(4096, remaining))
+                remaining -= 4096
+                yield ctx.delay()
+        finally:
+            ctx.fs.close(fd)
+        return
+    yield from update_in_place(
+        ctx, table, touches=rng.randint(2, 6), nbytes=rng.randint(4096, 16384)
+    )

@@ -1,0 +1,67 @@
+"""Computer-aided-design activities (the Ucbcad / C4 workload).
+
+Ucbcad ran "circuit simulators, layout editors, design-rule checkers, and
+circuit extractors"; the paper's example of short lifetimes there is that
+"a circuit simulator generates output listings that are examined and then
+deleted before the next simulation run."  Files are bigger than in
+program development (decks tens to hundreds of kilobytes) but the access
+shapes are the same — whole-file, sequential — which is why Section 7
+finds C4 barely distinguishable from A5/E3.
+"""
+
+from __future__ import annotations
+
+from .base import AppContext, read_whole, read_whole_slow, write_whole
+
+__all__ = ["simulate_circuit", "layout_edit", "design_rule_check"]
+
+
+def simulate_circuit(ctx: AppContext):
+    """Run the simulator: read the deck, compute, emit a listing; the
+    listing is examined and deleted before the activity ends."""
+    rng = ctx.rng
+    deck = rng.choice(ctx.ns.decks[ctx.uid])
+    ctx.fs.execve("/usr/bin/cmd030", uid=ctx.uid)  # spice
+    yield ctx.delay()
+    # The simulator parses the deck as it reads it, so the deck stays open
+    # for a while (Figure 3's 10-seconds-and-up tail) — but each gap stays
+    # well under the paper's 30-second 99th-percentile inter-event bound.
+    yield from read_whole_slow(ctx, deck, 0.5, 12.0)
+    # Crunch numbers for a while (deck closed).
+    yield rng.uniform(10.0, 180.0)
+    listing = ctx.ns.tmp_path(ctx.uid, "sim", ctx.next_serial())
+    listing_size = max(4096, int(ctx.size_of(deck) * rng.uniform(0.5, 3.0)))
+    yield from write_whole(ctx, listing, listing_size)
+    # Examine the listing, then clear it out before the next run.
+    yield rng.uniform(5.0, 120.0)
+    yield from read_whole(ctx, listing)
+    ctx.fs.unlink(listing)
+    yield ctx.delay()
+
+
+def layout_edit(ctx: AppContext):
+    """Layout editor: load a cell, edit, write it back whole."""
+    rng = ctx.rng
+    deck = rng.choice(ctx.ns.decks[ctx.uid])
+    ctx.fs.execve("/usr/bin/cmd031", uid=ctx.uid)  # caesar/magic
+    yield ctx.delay()
+    yield from read_whole(ctx, deck)
+    yield rng.uniform(20.0, 300.0)
+    new_size = max(4096, int(ctx.size_of(deck) * rng.uniform(0.9, 1.2)))
+    yield from write_whole(ctx, deck, new_size)
+
+
+def design_rule_check(ctx: AppContext):
+    """DRC: read the cell, write a small violations report, read+delete it."""
+    rng = ctx.rng
+    deck = rng.choice(ctx.ns.decks[ctx.uid])
+    ctx.fs.execve("/usr/bin/cmd032", uid=ctx.uid)  # drc
+    yield ctx.delay()
+    yield from read_whole(ctx, deck)
+    yield rng.uniform(5.0, 60.0)
+    report = ctx.ns.tmp_path(ctx.uid, "drc", ctx.next_serial())
+    yield from write_whole(ctx, report, rng.randint(256, 16 * 1024))
+    yield rng.uniform(1.0, 30.0)
+    yield from read_whole(ctx, report)
+    ctx.fs.unlink(report)
+    yield ctx.delay()

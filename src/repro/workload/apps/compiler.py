@@ -1,0 +1,117 @@
+"""Program-development activities: the compile/assemble/link pipeline.
+
+The paper singles out program development as the dominant workload on
+Ucbarpa and Ucbernie, and explains the short file lifetimes of Figure 4
+with exactly this pipeline: "the compiler generates an assembler file
+which is deleted as soon as it has been translated to machine code."
+
+One :func:`compile_file` activity:
+
+* ``exec`` of the compiler driver and passes (execve trace events, which
+  also feed the Figure 7 paging approximation);
+* whole-file reads of the source and a popularity-weighted set of shared
+  headers (the re-read locality that makes the caches of Section 6 work);
+* a temporary ``.s`` file written, read back by the assembler and deleted
+  within seconds (the left edge of Figure 4);
+* a ``.o`` file that is overwritten by the next compile of the same
+  source (data lifetime = inter-compile time);
+* occasionally a link step reading several objects and libraries and
+  rewriting ``a.out``, which is then executed.
+"""
+
+from __future__ import annotations
+
+from .base import AppContext, read_scattered, read_whole, write_whole
+
+__all__ = ["compile_file", "run_tests"]
+
+
+def _object_path(source: str) -> str:
+    return source.rsplit(".", 1)[0] + ".o"
+
+
+def compile_file(ctx: AppContext):
+    """One compile of a randomly chosen source file (maybe with a link)."""
+    rng = ctx.rng
+    source = ctx.pick_source()
+    source_size = ctx.size_of(source)
+
+    ctx.fs.execve("/bin/cmd000", uid=ctx.uid)  # the cc driver
+    yield ctx.delay()
+    yield from read_whole(ctx, source)
+    for header in ctx.ns.pick_headers(rng, rng.randint(2, 8)):
+        yield from read_whole(ctx, header)
+        # Parse what was just included before pulling in the next header.
+        yield rng.uniform(0.1, 1.5)
+
+    # Compiler pass writes the assembler temp, ~2x the source size.
+    asm_tmp = ctx.ns.tmp_path(ctx.uid, "ctm", ctx.next_serial())
+    asm_size = max(256, int(source_size * rng.uniform(1.5, 2.5)))
+    yield from write_whole(ctx, asm_tmp, asm_size)
+
+    # Assembler: exec, read the temp back, emit the object, delete the temp.
+    ctx.fs.execve("/bin/cmd001", uid=ctx.uid)  # as
+    yield ctx.delay()
+    yield from read_whole(ctx, asm_tmp)
+    obj = _object_path(source)
+    obj_size = max(128, int(source_size * rng.uniform(0.6, 1.2)))
+    yield from write_whole(ctx, obj, obj_size)
+    ctx.fs.unlink(asm_tmp)
+    yield ctx.delay()
+
+    if rng.random() < 0.35:
+        yield from _link(ctx, obj)
+
+
+def _link(ctx: AppContext, fresh_object: str):
+    """Link step: read objects + a library, rewrite a.out, run it."""
+    rng = ctx.rng
+    ctx.fs.execve("/bin/cmd002", uid=ctx.uid)  # ld
+    yield ctx.delay()
+    objects = [
+        _object_path(s)
+        for s in rng.sample(
+            ctx.ns.sources[ctx.uid], k=min(3, len(ctx.ns.sources[ctx.uid]))
+        )
+    ]
+    if fresh_object not in objects:
+        objects.append(fresh_object)
+    total = 0
+    for obj in objects:
+        if ctx.fs.exists(obj):
+            total += ctx.size_of(obj)
+            yield from read_whole(ctx, obj)
+    # The loader pulls individual members out of the archive: a scattered,
+    # non-sequential read of a large file.
+    library = rng.choice(ctx.ns.libraries)
+    yield from read_scattered(ctx, library, picks=rng.randint(5, 12), nbytes=rng.randint(8192, 16384))
+    total += ctx.size_of(library) // 4  # only some library members land
+
+    binary = f"{ctx.ns.home_dirs[ctx.uid]}/a.out"
+    yield from write_whole(ctx, binary, max(2048, total))
+    # Run the fresh program once (an execve for the paging simulation).
+    ctx.fs.execve(binary, uid=ctx.uid)
+    yield ctx.delay()
+
+
+def run_tests(ctx: AppContext):
+    """Re-run the user's program: exec a.out, write+inspect+delete output.
+
+    A second source of minutes-scale lifetimes: the test's output listing
+    is examined and deleted before the next run.
+    """
+    rng = ctx.rng
+    binary = f"{ctx.ns.home_dirs[ctx.uid]}/a.out"
+    if not ctx.fs.exists(binary):
+        # Nothing built yet: fall back to a compile.
+        yield from compile_file(ctx)
+        return
+    ctx.fs.execve(binary, uid=ctx.uid)
+    yield ctx.delay()
+    out = ctx.ns.tmp_path(ctx.uid, "out", ctx.next_serial())
+    yield from write_whole(ctx, out, rng.randint(512, 20 * 1024))
+    # Look at the output for a little while, then throw it away.
+    yield ctx.rng.uniform(2.0, 45.0)
+    yield from read_whole(ctx, out)
+    ctx.fs.unlink(out)
+    yield ctx.delay()

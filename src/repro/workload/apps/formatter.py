@@ -1,0 +1,50 @@
+"""Document formatting (nroff/troff).
+
+The paper describes Ucbarpa and Ucbernie as used for "program development
+and document formatting", with Ucbernie carrying "a substantial amount of
+secretarial and administrative work".  A formatting run has a distinctive
+I/O shape that fills several gaps the other activities leave:
+
+* it re-reads the shared **macro packages** (tmac.s and friends) on every
+  run — more hot small files, the read locality behind Section 6's cache
+  results and the small-cache thrashing that turns Figure 6's 32 KB curve
+  upward;
+* it digests the document as it reads, holding it open for many seconds
+  (Figure 3's 10-seconds-plus tail);
+* its output is a classic short-lived temporary: viewed or spooled, then
+  deleted (Figure 4's left edge).
+"""
+
+from __future__ import annotations
+
+from .base import AppContext, read_whole, read_whole_slow, write_whole
+
+__all__ = ["format_document"]
+
+
+def format_document(ctx: AppContext):
+    """One nroff run: macros + slow document read + transient output."""
+    rng = ctx.rng
+    document = rng.choice(ctx.ns.docs[ctx.uid])
+    ctx.fs.execve("/usr/bin/cmd033", uid=ctx.uid)  # nroff
+    yield ctx.delay()
+
+    # The macro packages load first, whole, every time.
+    for macro in ctx.ns.macros:
+        yield from read_whole(ctx, macro)
+        yield ctx.delay()
+
+    # Formatting is compute-bound: the document stays open while each
+    # chunk is processed (gaps well under the 30 s inter-event bound).
+    yield from read_whole_slow(ctx, document, 1.0, 10.0)
+
+    output = ctx.ns.tmp_path(ctx.uid, "nrf", ctx.next_serial())
+    out_size = max(1024, int(ctx.size_of(document) * rng.uniform(0.9, 1.4)))
+    yield from write_whole(ctx, output, out_size)
+
+    # Proofread on the screen, then discard (or it went to the spooler,
+    # which deletes it the same way).
+    yield rng.uniform(5.0, 60.0)
+    yield from read_whole_slow(ctx, output, 0.5, 6.0)
+    ctx.fs.unlink(output)
+    yield ctx.delay()

@@ -1,0 +1,74 @@
+"""Mail activities.
+
+Mail is the paper's canonical append workload: "This mode of operation is
+used, for example, to append new messages onto existing mailbox files" —
+a single reposition to the end followed by a sequential write, which
+Table V counts as sequential but not whole-file.  Reading mail is mostly
+whole-file; emptying the mailbox is one of the few ``truncate`` calls in
+the traces (0.1–0.2% of events in Table III).
+"""
+
+from __future__ import annotations
+
+from ...unixfs.filesystem import Whence
+from ...trace.records import AccessMode
+from .base import AppContext, append_file, read_whole, read_whole_slow
+
+__all__ = ["send_mail", "read_mail"]
+
+
+def send_mail(ctx: AppContext):
+    """Deliver a message: append it to someone's mailbox."""
+    rng = ctx.rng
+    recipient = rng.choice(sorted(ctx.ns.mailboxes))
+    message = rng.randint(600, 8000)
+    ctx.fs.execve("/bin/cmd005", uid=ctx.uid)  # /bin/mail
+    yield ctx.delay()
+    # Alias expansion consults the password map.
+    yield from read_whole(ctx, ctx.ns.etc_files["passwd"])
+    yield from append_file(ctx, ctx.ns.mailboxes[recipient], message)
+
+
+def read_mail(ctx: AppContext):
+    """Read one's mailbox; sometimes just the new tail; sometimes empty it."""
+    rng = ctx.rng
+    mailbox = ctx.ns.mailboxes[ctx.uid]
+    ctx.fs.execve("/bin/cmd005", uid=ctx.uid)
+    yield ctx.delay()
+    size = ctx.size_of(mailbox)
+    if size == 0:
+        # "No mail": the reader opens, sees EOF, closes.
+        fd = ctx.fs.open(mailbox, AccessMode.READ, uid=ctx.uid)
+        ctx.fs.close(fd)
+        yield ctx.delay()
+        return
+    if rng.random() < 0.45:
+        # /bin/mail opens the box read-write: it reads it through and
+        # rewrites status flags in place before closing.  The read pass is
+        # one long run — the *sequential* read-write mode of Table V.
+        fd = ctx.fs.open(mailbox, AccessMode.READ_WRITE, uid=ctx.uid)
+        try:
+            remaining = size
+            while remaining > 0:
+                ctx.fs.read(fd, min(4096, remaining))
+                remaining -= 4096
+                yield rng.uniform(0.5, 5.0)
+        finally:
+            ctx.fs.close(fd)
+    elif size > 16 * 1024 and rng.random() < 0.5:
+        # Jump to the recent messages only.
+        fd = ctx.fs.open(mailbox, AccessMode.READ, uid=ctx.uid)
+        try:
+            ctx.fs.lseek(fd, -(8 * 1024), Whence.END)
+            ctx.fs.read(fd, 8 * 1024)
+            yield rng.uniform(1.0, 8.0)  # reading the new messages
+        finally:
+            ctx.fs.close(fd)
+    else:
+        # The reader displays message by message: the mailbox stays open
+        # for seconds (the 0.5–10 s band of Figure 3).
+        yield from read_whole_slow(ctx, mailbox, 1.0, 9.0)
+    if rng.random() < 0.15:
+        # Saved everything: empty the mailbox.
+        ctx.fs.truncate(mailbox, 0)
+        yield ctx.delay()

@@ -1,0 +1,133 @@
+"""Shell activities: command execution and the small-file churn around it.
+
+The traces are full of short opens of short files — command scripts,
+dotfiles, memos (Section 5.2: "Short files are used extensively in UNIX
+for directories, command files, memos, ...").  A shell activity executes
+a popularity-weighted command binary and performs the command's typical
+file behaviour: ``cat`` reads a file whole, ``grep`` reads a prefix and
+stops, ``cp`` copies, ``wc`` scans everything it is given.
+"""
+
+from __future__ import annotations
+
+from .base import AppContext, read_prefix, read_whole, read_whole_slow, write_whole
+
+__all__ = ["login", "run_command"]
+
+
+def login(ctx: AppContext):
+    """Session start: read the dotfiles, record the login.
+
+    The login record is an append to the ~1 MB accounting file — a
+    large-administrative-file access of the Figure 2 kind.
+    """
+    ctx.fs.execve("/bin/cmd004", uid=ctx.uid)  # login
+    yield ctx.delay()
+    yield from read_whole(ctx, ctx.ns.etc_files["passwd"])
+    yield from read_whole(ctx, ctx.ns.etc_files["motd"])
+    for dotfile in (".cshrc", ".login"):
+        path = f"{ctx.ns.home_dirs[ctx.uid]}/{dotfile}"
+        if not ctx.fs.exists(path):
+            yield from write_whole(ctx, path, ctx.rng.randint(200, 1500))
+        yield from read_whole(ctx, path)
+    from .admin import record_login  # local import avoids a cycle
+
+    yield from record_login(ctx)
+
+
+def run_command(ctx: AppContext):
+    """A burst of shell commands (users type several in a row)."""
+    rng = ctx.rng
+    for _ in range(rng.randint(1, 4)):
+        yield from _one_command(ctx)
+        yield rng.uniform(0.5, 4.0)
+
+
+def _one_command(ctx: AppContext):
+    """Execute one shell command with its characteristic file traffic."""
+    rng = ctx.rng
+    command = ctx.ns.pick_command(rng)
+    ctx.fs.execve(command, uid=ctx.uid)
+    yield ctx.delay()
+
+    if rng.random() < 0.65:
+        # Almost everything maps uids to names: ls -l, ps, who, mail...
+        yield from read_whole(ctx, ctx.ns.etc_files["passwd"])
+        if rng.random() < 0.3:
+            yield from read_whole(ctx, ctx.ns.etc_files["group"])
+
+    roll = rng.random()
+
+    def pick_file() -> str:
+        # Users mostly poke at what they are working on right now.
+        if rng.random() < 0.6:
+            return ctx.pick_source()
+        return rng.choice(ctx.ns.docs[ctx.uid] + ctx.ns.sources[ctx.uid])
+    if roll < 0.30:
+        # cat is quick; more pages to the terminal, holding the file open
+        # while the user reads (a chunk of Figure 3's 0.5 s – 60 s band).
+        target = pick_file()
+        if rng.random() < 0.40:
+            yield from read_whole_slow(ctx, target, 1.5, 12.0)
+        else:
+            yield from read_whole(ctx, target)
+    elif roll < 0.50:
+        # grep / head: sequential prefix, stop early on a granule boundary.
+        target = pick_file()
+        size = ctx.size_of(target)
+        if size > 0:
+            yield from read_prefix(ctx, target, rng.randint(1, max(1, size)))
+    elif roll < 0.62:
+        # cp: read whole, write the copy into the user's scratch slot
+        # (rewritten every time, so the previous copy's data dies).
+        source = pick_file()
+        scratch = f"{ctx.ns.home_dirs[ctx.uid]}/scratch"
+        yield from read_whole(ctx, source)
+        yield from write_whole(ctx, scratch, ctx.size_of(source))
+    elif roll < 0.72:
+        # A pipeline stage: read input, write a short-lived temp, read it
+        # back downstream, delete it (sort | uniq style).
+        source = pick_file()
+        tmp = ctx.ns.tmp_path(ctx.uid, "sh", ctx.next_serial())
+        yield from read_whole(ctx, source)
+        yield from write_whole(ctx, tmp, max(128, ctx.size_of(source) // 2))
+        ctx.fs.execve(ctx.ns.pick_command(rng), uid=ctx.uid)
+        yield ctx.delay()
+        yield from read_whole(ctx, tmp)
+        ctx.fs.unlink(tmp)
+        yield ctx.delay()
+    elif roll < 0.76:
+        # which / file / test -f: pure metadata, no data transfer.
+        ctx.fs.stat(rng.choice(ctx.ns.commands))
+        yield ctx.delay()
+    elif roll < 0.84:
+        # nm / ar t: poke around inside an archive or binary (a
+        # non-sequential read of a large file).
+        from .base import read_scattered
+
+        yield from read_scattered(
+            ctx, rng.choice(ctx.ns.libraries), picks=rng.randint(2, 5),
+            nbytes=2048,
+        )
+    elif roll < 0.94:
+        # rwho / ruptime: read a bunch of the little host status files the
+        # network daemons keep fresh (a hot, heavily re-read set).
+        for status in rng.sample(
+            ctx.ns.status_files, k=min(len(ctx.ns.status_files), rng.randint(4, 12))
+        ):
+            yield from read_whole(ctx, status)
+    else:
+        # ls or a command that touches no files beyond its own binary.
+        yield ctx.delay()
+
+    if rng.random() < 0.30:
+        # Many commands consult the network tables (finger, rlogin, mail
+        # delivery all did): a positioned small read of a ~1 MB file.
+        from .admin import lookup_table
+
+        yield from lookup_table(ctx)
+    if rng.random() < 0.40:
+        # Process accounting: an append to the accounting log.
+        from .base import append_file
+
+        yield from append_file(ctx, ctx.ns.admin_files[0], rng.randint(64, 512))

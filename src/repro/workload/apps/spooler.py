@@ -1,0 +1,34 @@
+"""Print spooling.
+
+The paper lists printer spool files among the explanations for short
+lifetimes "in a word-processing environment": a document is copied into
+the spool directory, the line-printer daemon reads it and deletes it a
+short while later.  Both halves run in one activity, separated by the
+queue wait.
+"""
+
+from __future__ import annotations
+
+from .base import AppContext, read_whole, read_whole_slow, write_whole
+
+__all__ = ["print_file"]
+
+
+def print_file(ctx: AppContext):
+    """lpr: copy the document to the spool area; lpd prints and deletes."""
+    rng = ctx.rng
+    document = rng.choice(ctx.ns.docs[ctx.uid])
+    ctx.fs.execve("/bin/cmd006", uid=ctx.uid)  # lpr
+    yield ctx.delay()
+    yield from read_whole(ctx, document)
+    spool = ctx.ns.spool_path(ctx.next_serial() + ctx.uid * 1_000_000)
+    yield from write_whole(ctx, spool, ctx.size_of(document))
+    # Queue wait, then the daemon side: the printer drains the file far
+    # slower than the disk supplies it, so the spool file stays open for
+    # a long stretch — part of Figure 3's long tail.
+    yield rng.uniform(5.0, 90.0)
+    ctx.fs.execve("/bin/cmd007", uid=ctx.uid)  # lpd
+    yield ctx.delay()
+    yield from read_whole_slow(ctx, spool, 2.0, 15.0)
+    ctx.fs.unlink(spool)
+    yield ctx.delay()

@@ -1,0 +1,148 @@
+"""Machine profiles for the three traced systems.
+
+The paper gathered traces on three VAX-11/780s: Ucbarpa (trace A5) and
+Ucbernie (E3), used for program development, document formatting and — on
+Ucbernie — secretarial work, and Ucbcad (C4), used for VLSI CAD.  A
+:class:`MachineProfile` captures what differed between them: the user
+population, memory size (hence kernel buffer-cache size, 10% of memory),
+and the activity mix.  Section 7 of the paper notes that the three traces
+nonetheless produced very similar results; the profile defaults reproduce
+that similarity because the *shapes* of the activities are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .distributions import BurstyThinkTime, DiurnalPattern
+from .namespace import NamespaceConfig
+
+__all__ = ["MachineProfile", "UCBARPA", "UCBERNIE", "UCBCAD", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Everything needed to regenerate one machine's trace."""
+
+    name: str
+    trace_name: str
+    description: str
+    n_users: int
+    memory_bytes: int
+    activity_mix: tuple[tuple[str, float], ...]
+    think: BurstyThinkTime = BurstyThinkTime()
+    namespace: NamespaceConfig = field(default=None)  # type: ignore[assignment]
+    status_daemon_period: float = 180.0
+    #: Day/night modulation; None keeps activity flat (the default, right
+    #: for the few-hour traces the tests and benches use).  Multi-day
+    #: generations should set one to reproduce the paper's peak-hours
+    #: rhythm.
+    diurnal: DiurnalPattern | None = None
+    io_delay_mean: float = 0.02
+
+    def __post_init__(self):
+        if self.namespace is None:
+            object.__setattr__(
+                self, "namespace", NamespaceConfig(n_users=self.n_users)
+            )
+        if self.namespace.n_users != self.n_users:
+            raise ValueError(
+                f"profile has {self.n_users} users but namespace built for "
+                f"{self.namespace.n_users}"
+            )
+
+    @property
+    def buffer_cache_bytes(self) -> int:
+        """UNIX used about 10% of main memory for the block cache."""
+        return self.memory_bytes // 10
+
+
+UCBARPA = MachineProfile(
+    name="ucbarpa",
+    trace_name="A5",
+    description=(
+        "Graduate students and staff: program development and document "
+        "formatting (4 Mbytes of memory)"
+    ),
+    n_users=35,
+    memory_bytes=4 * 1024 * 1024,
+    activity_mix=(
+        ("compile", 0.17),
+        ("run_tests", 0.06),
+        ("edit", 0.08),
+        ("quick_edit", 0.06),
+        ("shell", 0.19),
+        ("format", 0.06),
+        ("send_mail", 0.07),
+        ("read_mail", 0.07),
+        ("lookup_table", 0.12),
+        ("update_table", 0.03),
+        ("check_log", 0.05),
+        ("print", 0.04),
+    ),
+    think=BurstyThinkTime(burst_mean=3.0, idle_mean=1500.0, idle_prob=0.22),
+)
+
+UCBERNIE = MachineProfile(
+    name="ucbernie",
+    trace_name="E3",
+    description=(
+        "Program development plus substantial secretarial and "
+        "administrative work (8 Mbytes of memory)"
+    ),
+    n_users=50,
+    memory_bytes=8 * 1024 * 1024,
+    activity_mix=(
+        ("compile", 0.08),
+        ("run_tests", 0.02),
+        ("edit", 0.12),
+        ("quick_edit", 0.10),
+        ("shell", 0.16),
+        ("format", 0.10),
+        ("send_mail", 0.09),
+        ("read_mail", 0.09),
+        ("lookup_table", 0.12),
+        ("update_table", 0.03),
+        ("check_log", 0.04),
+        ("print", 0.05),
+    ),
+    think=BurstyThinkTime(burst_mean=3.2, idle_mean=1400.0, idle_prob=0.22),
+)
+
+UCBCAD = MachineProfile(
+    name="ucbcad",
+    trace_name="C4",
+    description=(
+        "Electrical-engineering graduate students running VLSI CAD tools "
+        "(16 Mbytes of memory, about ten active users)"
+    ),
+    n_users=16,
+    memory_bytes=16 * 1024 * 1024,
+    activity_mix=(
+        ("cad_simulate", 0.16),
+        ("cad_layout", 0.10),
+        ("cad_drc", 0.08),
+        ("compile", 0.08),
+        ("shell", 0.16),
+        ("format", 0.02),
+        ("edit", 0.06),
+        ("quick_edit", 0.04),
+        ("send_mail", 0.04),
+        ("read_mail", 0.05),
+        ("lookup_table", 0.13),
+        ("update_table", 0.02),
+        ("check_log", 0.04),
+        ("print", 0.02),
+    ),
+    think=BurstyThinkTime(burst_mean=3.5, idle_mean=1200.0, idle_prob=0.20),
+)
+
+#: Trace name -> profile, for CLI lookup (accepts either naming).
+PROFILES = {
+    "A5": UCBARPA,
+    "E3": UCBERNIE,
+    "C4": UCBCAD,
+    "ucbarpa": UCBARPA,
+    "ucbernie": UCBERNIE,
+    "ucbcad": UCBCAD,
+}

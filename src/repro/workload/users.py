@@ -1,0 +1,48 @@
+"""User sessions.
+
+A session is the per-user top-level process: log in, then alternate
+between activities drawn from the machine profile's mix and bursty think
+times.  The think-time model (see
+:class:`~repro.workload.distributions.BurstyThinkTime`) is what produces
+the paper's Section 5.1 observation that users are only occasionally —
+though burstily — active: a 10-second window catches a user mid-burst at
+kilobytes per second, a 10-minute window averages to a few hundred bytes
+per second.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from .apps import ACTIVITIES
+from .apps.base import AppContext
+from .apps.shell import login
+from .distributions import BurstyThinkTime, DiurnalPattern, WeightedChoice
+
+__all__ = ["user_session"]
+
+
+def user_session(
+    ctx: AppContext,
+    mix: WeightedChoice,
+    think: BurstyThinkTime,
+    diurnal: DiurnalPattern | None = None,
+):
+    """The top-level generator for one user.
+
+    Runs until the engine's horizon closes it; any file the current
+    activity holds open is closed by the activity's own ``finally`` block
+    when the generator is closed.
+    """
+    rng = ctx.rng
+    # Stagger logins: not everyone arrives in the first second.
+    yield rng.uniform(0.0, 120.0)
+    yield from login(ctx)
+    while True:
+        activity: Callable = mix.sample(rng)
+        yield from activity(ctx)
+        pause = think.sample(rng)
+        if diurnal is not None:
+            pause *= diurnal.think_multiplier(ctx.clock.now())
+        yield pause

@@ -1,0 +1,105 @@
+"""Tests for the burstiness analysis and the simulator warmup checkpoint."""
+
+import pytest
+
+from repro.analysis.burstiness import analyze_burstiness
+from repro.cache.metrics import CacheMetrics
+from repro.cache.simulator import BlockCacheSimulator
+from repro.cache.stream import build_stream
+from repro.trace.log import TraceLog
+from repro.trace.records import AccessMode, CloseEvent, OpenEvent
+
+
+def _open(t, oid, uid=1, size=1000):
+    return OpenEvent(time=t, open_id=oid, file_id=oid, user_id=uid, size=size,
+                     mode=AccessMode.READ)
+
+
+class TestBurstiness:
+    def test_single_burst(self):
+        events = []
+        for i in range(10):  # ten opens in one second, then silence
+            events.append(_open(0.1 * i, i))
+            events.append(CloseEvent(time=0.1 * i + 0.05, open_id=i,
+                                     final_pos=1000))
+        events.append(_open(100.0, 99))
+        events.append(CloseEvent(time=100.1, open_id=99, final_pos=0))
+        log = TraceLog.from_events(events)
+        report = analyze_burstiness(log, window=10.0)
+        assert report.peak_open_rate == pytest.approx(1.0)  # 10 opens / 10 s
+        assert report.peak_to_mean > 5.0
+        assert report.idle_window_fraction > 0.5
+
+    def test_uniform_activity_peak_near_mean(self):
+        events = []
+        for i in range(20):
+            events.append(_open(10.0 * i, i))
+            events.append(CloseEvent(time=10.0 * i + 1, open_id=i, final_pos=100))
+        log = TraceLog.from_events(events)
+        report = analyze_burstiness(log, window=10.0)
+        assert report.peak_to_mean < 2.5
+        assert report.idle_window_fraction < 0.2
+
+    def test_max_user_rate(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, uid=7, size=50_000),
+            CloseEvent(time=1.0, open_id=1, final_pos=50_000),
+        ])
+        report = analyze_burstiness(log, window=10.0)
+        assert report.max_user_rate == pytest.approx(5000.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_burstiness(TraceLog(), window=0)
+
+    def test_generated_trace_is_bursty(self, medium_trace):
+        report = analyze_burstiness(medium_trace)
+        # Section 8: "file system activity is bursty".
+        assert report.peak_to_mean > 3.0
+        assert 0.0 < report.idle_window_fraction < 0.9
+
+    def test_render(self, small_trace):
+        assert "peak" in analyze_burstiness(small_trace).render()
+
+
+class TestWarmupCheckpoint:
+    def test_delta_subtracts_counters(self):
+        a = CacheMetrics(read_accesses=10, disk_reads=6)
+        b = CacheMetrics(read_accesses=25, disk_reads=8)
+        warm = b.delta(a)
+        assert warm.read_accesses == 15
+        assert warm.disk_reads == 2
+        assert warm.miss_ratio == pytest.approx(2 / 15)
+
+    def test_snapshot_is_independent_copy(self):
+        a = CacheMetrics(read_accesses=1)
+        snap = a.snapshot()
+        a.read_accesses = 99
+        assert snap.read_accesses == 1
+
+    def test_checkpoint_taken_at_time(self, small_trace):
+        stream = build_stream(small_trace)
+        sim = BlockCacheSimulator(1024 * 1024)
+        total = sim.run(stream, checkpoint_time=300.0)
+        assert sim.checkpoint is not None
+        warm = total.delta(sim.checkpoint)
+        assert warm.block_accesses < total.block_accesses
+        assert warm.block_accesses > 0
+
+    def test_warm_read_misses_not_worse_than_cold_phase(self, medium_trace):
+        # Note: the *total* miss ratio can legitimately rise in the warm
+        # phase under delayed-write (writebacks only begin once the cache
+        # fills); the cold-start effect proper shows in the read misses.
+        stream = build_stream(medium_trace)
+        sim = BlockCacheSimulator(4 * 1024 * 1024)
+        total = sim.run(stream, checkpoint_time=1800.0)
+        cold = sim.checkpoint
+        warm = total.delta(cold)
+        cold_read_miss = cold.disk_reads / max(1, cold.read_accesses)
+        warm_read_miss = warm.disk_reads / max(1, warm.read_accesses)
+        assert warm_read_miss <= cold_read_miss + 0.02
+
+    def test_no_checkpoint_without_request(self, small_trace):
+        sim = BlockCacheSimulator(1024 * 1024)
+        sim.run(build_stream(small_trace))
+        assert sim.checkpoint is None

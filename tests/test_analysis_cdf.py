@@ -1,0 +1,68 @@
+"""Tests for the weighted/censored CDF utility."""
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+
+
+class TestUnweighted:
+    def test_fraction_at_or_below(self):
+        cdf = Cdf.from_samples([1, 2, 2, 10])
+        assert cdf.fraction_at_or_below(0) == 0.0
+        assert cdf.fraction_at_or_below(1) == pytest.approx(0.25)
+        assert cdf.fraction_at_or_below(2) == pytest.approx(0.75)
+        assert cdf.fraction_at_or_below(9.99) == pytest.approx(0.75)
+        assert cdf.fraction_at_or_below(10) == 1.0
+
+    def test_percentile(self):
+        cdf = Cdf.from_samples([1, 2, 3, 4])
+        assert cdf.percentile(0.25) == 1
+        assert cdf.percentile(0.5) == 2
+        assert cdf.percentile(1.0) == 4
+
+    def test_median(self):
+        assert Cdf.from_samples([5, 1, 9]).median() == 5
+
+    def test_empty(self):
+        cdf = Cdf.from_samples([])
+        assert cdf.fraction_at_or_below(100) == 0.0
+        assert cdf.percentile(0.5) == float("inf")
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([1]).percentile(1.5)
+
+
+class TestWeighted:
+    def test_weights_shift_mass(self):
+        cdf = Cdf.from_samples([1, 100], weights=[1, 9])
+        assert cdf.fraction_at_or_below(1) == pytest.approx(0.1)
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([1, 2], weights=[1])
+
+    def test_duplicate_values_merge_weights(self):
+        cdf = Cdf.from_samples([1, 1], weights=[2, 3])
+        assert cdf.count == 5
+        assert cdf.fraction_at_or_below(1) == 1.0
+
+
+class TestCensored:
+    def test_censored_mass_in_denominator(self):
+        cdf = Cdf.from_samples([10, 20], censored_weight=2)
+        assert cdf.count == 4
+        assert cdf.fraction_at_or_below(20) == pytest.approx(0.5)
+
+    def test_percentile_in_censored_tail_is_inf(self):
+        cdf = Cdf.from_samples([10], censored_weight=9)
+        assert cdf.percentile(0.9) == float("inf")
+
+
+class TestEvaluate:
+    def test_curve_monotone(self):
+        cdf = Cdf.from_samples([3, 1, 4, 1, 5, 9, 2, 6])
+        curve = cdf.evaluate([0, 1, 2, 5, 10])
+        fracs = [f for _x, f in curve]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == 1.0

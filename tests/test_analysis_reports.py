@@ -1,0 +1,245 @@
+"""Tests for the analysis report modules: activity (Table IV),
+sequentiality (Table V / Fig 1), sizes (Fig 2), open times (Fig 3) and
+lifetimes (Fig 4)."""
+
+import pytest
+
+from repro.analysis.activity import analyze_activity
+from repro.analysis.lifetimes import (
+    collect_lifetimes,
+    daemon_spike_fraction,
+    lifetime_cdfs,
+)
+from repro.analysis.opentimes import open_time_cdf, open_time_summary
+from repro.analysis.report import format_bytes, render_table
+from repro.analysis.sequentiality import analyze_sequentiality, run_length_cdfs
+from repro.analysis.sizes import file_size_cdfs, size_summary
+from repro.trace.log import TraceLog
+from repro.trace.records import (
+    AccessMode,
+    CloseEvent,
+    OpenEvent,
+    SeekEvent,
+    TruncateEvent,
+    UnlinkEvent,
+)
+
+
+def _open(t, oid, fid=None, uid=1, size=0, mode=AccessMode.READ, created=False,
+          new_file=False, pos=0):
+    return OpenEvent(time=t, open_id=oid, file_id=fid if fid is not None else oid,
+                     user_id=uid, size=size, mode=mode, created=created,
+                     new_file=new_file, initial_pos=pos)
+
+
+class TestActivity:
+    def test_two_users_one_window(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, uid=1, size=1000),
+            CloseEvent(time=1.0, open_id=1, final_pos=1000),
+            _open(2.0, 2, uid=2, size=500),
+            CloseEvent(time=3.0, open_id=2, final_pos=500),
+        ])
+        report = analyze_activity(log, long_window=600, short_window=10)
+        assert report.total_users == 2
+        assert report.total_bytes == 1500
+        assert report.ten_minute.max_active_users == 2
+
+    def test_user_active_without_bytes_counts_as_active(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, uid=1, size=100),
+            CloseEvent(time=0.5, open_id=1, final_pos=0),  # no data moved
+        ])
+        report = analyze_activity(log)
+        assert report.ten_minute.mean_active_users == pytest.approx(1.0)
+        assert report.ten_minute.mean_user_throughput == pytest.approx(0.0)
+
+    def test_bytes_billed_in_closing_window(self):
+        # Open in window 0, close (and bill) in window 1.
+        log = TraceLog.from_events([
+            _open(0.0, 1, uid=1, size=10_000),
+            CloseEvent(time=15.0, open_id=1, final_pos=10_000),
+        ])
+        report = analyze_activity(log, long_window=600, short_window=10)
+        w = report.ten_second
+        # Two 10-second intervals; all bytes land in the second.
+        assert w.intervals == 2
+        assert w.mean_user_throughput == pytest.approx(
+            (0 + 10_000 / 10.0) / 2
+        )
+
+    def test_render_mentions_throughput(self, small_trace):
+        assert "throughput per active user" in analyze_activity(small_trace).render()
+
+
+class TestSequentiality:
+    def test_classification_by_mode(self):
+        log = TraceLog.from_events([
+            # whole-file read
+            _open(0.0, 1, size=100),
+            CloseEvent(time=0.1, open_id=1, final_pos=100),
+            # non-sequential read
+            _open(1.0, 2, size=10_000),
+            SeekEvent(time=1.1, open_id=2, prev_pos=500, new_pos=5000),
+            CloseEvent(time=1.2, open_id=2, final_pos=5500),
+            # whole-file write
+            _open(2.0, 3, size=0, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=2.1, open_id=3, final_pos=300),
+            # read-write access
+            _open(3.0, 4, size=1000, mode=AccessMode.READ_WRITE),
+            CloseEvent(time=3.1, open_id=4, final_pos=1000),
+        ])
+        report = analyze_sequentiality(log)
+        assert report.read.accesses == 2
+        assert report.read.whole_file == 1
+        assert report.read.sequential == 1
+        assert report.write.whole_file == 1
+        assert report.read_write.accesses == 1
+        assert report.read_write.sequential == 1
+
+    def test_byte_totals(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=100),
+            CloseEvent(time=0.1, open_id=1, final_pos=100),
+            _open(1.0, 2, size=10_000),
+            SeekEvent(time=1.1, open_id=2, prev_pos=500, new_pos=5000),
+            CloseEvent(time=1.2, open_id=2, final_pos=5500),
+        ])
+        report = analyze_sequentiality(log)
+        assert report.total_bytes == 100 + 1000
+        assert report.bytes_whole_file == 100
+        assert report.percent_bytes_whole_file == pytest.approx(100 * 100 / 1100)
+
+    def test_run_length_cdfs_weighting(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=100),
+            CloseEvent(time=0.1, open_id=1, final_pos=100),       # run of 100
+            _open(1.0, 2, size=9900),
+            CloseEvent(time=1.1, open_id=2, final_pos=9900),      # run of 9900
+        ])
+        by_runs, by_bytes = run_length_cdfs(log)
+        assert by_runs.fraction_at_or_below(100) == pytest.approx(0.5)
+        assert by_bytes.fraction_at_or_below(100) == pytest.approx(0.01)
+
+
+class TestSizes:
+    def test_size_at_close_weighting(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=1000),
+            CloseEvent(time=0.1, open_id=1, final_pos=1000),
+            _open(1.0, 2, size=0, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=1.1, open_id=2, final_pos=99_000),
+        ])
+        by_acc, by_bytes = file_size_cdfs(log)
+        assert by_acc.fraction_at_or_below(1000) == pytest.approx(0.5)
+        assert by_bytes.fraction_at_or_below(1000) == pytest.approx(0.01)
+
+    def test_summary_text(self, small_trace):
+        text = size_summary(*file_size_cdfs(small_trace))
+        assert "file accesses" in text
+
+
+class TestOpenTimes:
+    def test_durations(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=10),
+            CloseEvent(time=0.2, open_id=1, final_pos=10),
+            _open(1.0, 2, size=10),
+            CloseEvent(time=21.0, open_id=2, final_pos=10),
+        ])
+        cdf = open_time_cdf(log)
+        assert cdf.fraction_at_or_below(0.5) == pytest.approx(0.5)
+        assert cdf.fraction_at_or_below(30.0) == 1.0
+
+    def test_summary(self, small_trace):
+        assert "open less than 0.5 second" in open_time_summary(
+            open_time_cdf(small_trace)
+        )
+
+
+class TestLifetimes:
+    def test_unlink_death(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, fid=7, mode=AccessMode.WRITE, created=True, new_file=True),
+            CloseEvent(time=1.0, open_id=1, final_pos=500),
+            UnlinkEvent(time=61.0, file_id=7),
+        ])
+        (lt,) = collect_lifetimes(log)
+        assert lt.lifetime == pytest.approx(60.0)
+        assert lt.bytes_written == 500
+
+    def test_overwrite_death_at_next_truncating_open(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, fid=7, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=1.0, open_id=1, final_pos=500),
+            _open(181.0, 2, fid=7, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=182.0, open_id=2, final_pos=700),
+        ])
+        lifetimes = collect_lifetimes(log)
+        assert len(lifetimes) == 2
+        first = next(lt for lt in lifetimes if lt.birth_time == 1.0)
+        assert first.lifetime == pytest.approx(180.0)
+        second = next(lt for lt in lifetimes if lt.birth_time == 182.0)
+        assert second.lifetime is None  # censored
+
+    def test_truncate_to_zero_is_death(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, fid=7, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=1.0, open_id=1, final_pos=500),
+            TruncateEvent(time=31.0, file_id=7, new_length=0),
+        ])
+        (lt,) = collect_lifetimes(log)
+        assert lt.lifetime == pytest.approx(30.0)
+
+    def test_partial_truncate_not_a_death(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, fid=7, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=1.0, open_id=1, final_pos=500),
+            TruncateEvent(time=31.0, file_id=7, new_length=100),
+        ])
+        (lt,) = collect_lifetimes(log)
+        assert lt.lifetime is None
+
+    def test_non_created_open_is_not_a_birth(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, fid=7, size=100, mode=AccessMode.WRITE),
+            CloseEvent(time=1.0, open_id=1, final_pos=200),
+            UnlinkEvent(time=5.0, file_id=7),
+        ])
+        assert collect_lifetimes(log) == []
+
+    def test_cdfs_respect_censoring(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, fid=7, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=1.0, open_id=1, final_pos=100),
+            _open(2.0, 2, fid=8, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=3.0, open_id=2, final_pos=300),
+            UnlinkEvent(time=11.0, file_id=7),
+        ])
+        by_files, by_bytes = lifetime_cdfs(log)
+        assert by_files.count == 2
+        assert by_files.fraction_at_or_below(100) == pytest.approx(0.5)
+        assert by_bytes.fraction_at_or_below(100) == pytest.approx(0.25)
+
+    def test_daemon_spike_fraction(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, fid=7, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=1.0, open_id=1, final_pos=100),
+            _open(181.0, 2, fid=7, mode=AccessMode.WRITE, created=True),
+            CloseEvent(time=181.5, open_id=2, final_pos=100),
+        ])
+        lifetimes = collect_lifetimes(log)
+        assert daemon_spike_fraction(lifetimes) == pytest.approx(0.5)
+
+
+class TestRenderHelpers:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(4096) == "4.0 KB"
+        assert format_bytes(4 * 1024 * 1024) == "4.0 MB"
+
+    def test_render_table_alignment(self):
+        text = render_table(("a", "b"), [("row", "1"), ("longer-row", "22")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[2].endswith(" 1")

@@ -1,0 +1,79 @@
+"""Tests for the per-user analysis."""
+
+import pytest
+
+from repro.analysis.users import per_user_summary, render_user_table
+from repro.trace.log import TraceLog
+from repro.trace.records import AccessMode, CloseEvent, ExecEvent, OpenEvent
+
+
+def _trace():
+    return TraceLog.from_events([
+        OpenEvent(time=0.0, open_id=1, file_id=10, user_id=1, size=1000,
+                  mode=AccessMode.READ),
+        CloseEvent(time=1.0, open_id=1, final_pos=1000),
+        OpenEvent(time=2.0, open_id=2, file_id=11, user_id=1, size=0,
+                  mode=AccessMode.WRITE, created=True),
+        CloseEvent(time=3.0, open_id=2, final_pos=500),
+        ExecEvent(time=4.0, file_id=12, user_id=2, size=4096),
+        OpenEvent(time=5.0, open_id=3, file_id=10, user_id=2, size=1000,
+                  mode=AccessMode.READ),
+        CloseEvent(time=6.0, open_id=3, final_pos=200),
+    ])
+
+
+def test_bytes_split_by_direction():
+    users = per_user_summary(_trace())
+    assert users[1].bytes_read == 1000
+    assert users[1].bytes_written == 500
+    assert users[2].bytes_read == 200
+    assert users[2].bytes_written == 0
+
+
+def test_counts_and_files():
+    users = per_user_summary(_trace())
+    assert users[1].opens == 2
+    assert users[1].files_touched == {10, 11}
+    assert users[2].execs == 1
+
+
+def test_span():
+    users = per_user_summary(_trace())
+    assert users[1].span == pytest.approx(3.0)
+    assert users[2].span == pytest.approx(2.0)
+
+
+def test_render_ranks_by_bytes():
+    text = render_user_table(per_user_summary(_trace()))
+    lines = text.splitlines()
+    # user 1 moved more bytes, so appears first in the body.
+    assert lines[3].startswith("u1")
+
+
+def test_generated_trace_users_plausible(small_trace):
+    users = per_user_summary(small_trace)
+    # Every simulated user should look like a person: a handful of opens,
+    # not millions, and no single user dominating everything.
+    totals = sorted((u.bytes_total for u in users.values()), reverse=True)
+    assert len(users) >= 10
+    assert totals[0] < 0.8 * sum(totals)
+
+
+class TestComparison:
+    def test_headline_fields(self, small_trace):
+        from repro.analysis.comparison import headline
+
+        h = headline(small_trace)
+        assert h.name == small_trace.name
+        assert h.events == len(small_trace)
+        assert 0 <= h.miss_ratio_4mb <= 1
+        assert 0 <= h.whole_file_read_pct <= 100
+
+    def test_compare_traces_renders_one_row_per_trace(self, small_trace):
+        from repro.analysis.comparison import compare_traces
+
+        sliced = small_trace.slice(0, 600, name="half")
+        text = compare_traces([small_trace, sliced])
+        assert "A5" in text
+        assert "half" in text
+        assert text.count("\n") >= 4

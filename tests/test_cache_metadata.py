@@ -1,0 +1,156 @@
+"""Tests for the Section 8 metadata-traffic model."""
+
+import pytest
+
+from repro.cache.metadata import (
+    DIRECTORY_FILE_ID_BASE,
+    INODE_TABLE_FILE_ID,
+    build_stream_with_metadata,
+    is_metadata_item,
+    metadata_stream,
+)
+from repro.cache.simulator import BlockCacheSimulator
+from repro.cache.stream import build_stream
+from repro.trace.log import TraceLog
+from repro.trace.records import AccessMode, CloseEvent, OpenEvent
+
+
+def _trace(mode=AccessMode.READ, file_id=5):
+    return TraceLog.from_events([
+        OpenEvent(time=0.0, open_id=1, file_id=file_id, user_id=1, size=1000,
+                  mode=mode),
+        CloseEvent(time=1.0, open_id=1, final_pos=1000),
+    ])
+
+
+class TestMetadataStream:
+    def test_read_open_implies_inode_and_directory_reads(self):
+        items = metadata_stream(_trace())
+        assert len(items) == 2
+        inode, directory = items
+        assert inode.file_id == INODE_TABLE_FILE_ID
+        assert inode.start == 128 * 5
+        assert inode.length == 128
+        assert not inode.is_write
+        assert directory.file_id == DIRECTORY_FILE_ID_BASE + 0
+        assert not directory.is_write
+
+    def test_writable_open_adds_inode_writeback_at_close(self):
+        items = metadata_stream(_trace(mode=AccessMode.WRITE))
+        assert len(items) == 3
+        writeback = items[-1]
+        assert writeback.is_write
+        assert writeback.file_id == INODE_TABLE_FILE_ID
+        assert writeback.time == 1.0
+
+    def test_writeback_can_be_disabled(self):
+        items = metadata_stream(_trace(mode=AccessMode.WRITE),
+                                inode_writeback=False)
+        assert len(items) == 2
+
+    def test_nearby_files_share_directory(self):
+        a = metadata_stream(_trace(file_id=10))
+        b = metadata_stream(_trace(file_id=11))
+        c = metadata_stream(_trace(file_id=10 + 64))
+        assert a[1].file_id == b[1].file_id
+        assert a[1].file_id != c[1].file_id
+
+    def test_nearby_inodes_share_blocks_in_cache(self):
+        # 32 inodes of 128 B fit one 4 KB block: opening neighbours after
+        # the first should hit.
+        events = []
+        t = 0.0
+        for i in range(8):
+            events.append(OpenEvent(time=t, open_id=i, file_id=100 + i,
+                                    user_id=1, size=0, mode=AccessMode.READ))
+            events.append(CloseEvent(time=t + 0.1, open_id=i, final_pos=0))
+            t += 1.0
+        log = TraceLog.from_events(events)
+        meta_only = metadata_stream(log)
+        sim = BlockCacheSimulator(1024 * 1024)
+        metrics = sim.run(meta_only)
+        # 16 accesses (8 inode + 8 directory) but only 2 distinct blocks.
+        assert metrics.block_accesses == 16
+        assert metrics.disk_reads == 2
+
+    def test_merged_stream_is_time_ordered(self, small_trace):
+        merged = build_stream_with_metadata(small_trace)
+        times = [item.time for item in merged]
+        assert times == sorted(times)
+        assert len(merged) > len(build_stream(small_trace))
+
+    def test_is_metadata_item(self, small_trace):
+        merged = build_stream_with_metadata(small_trace)
+        kinds = {is_metadata_item(i) for i in merged}
+        assert kinds == {True, False}
+
+
+class TestSection8Claims:
+    def test_metadata_is_large_share_of_references(self, medium_trace):
+        plain = build_stream(medium_trace)
+        full = build_stream_with_metadata(medium_trace)
+        base = BlockCacheSimulator(4 * 1024 * 1024).run(plain)
+        meta = BlockCacheSimulator(4 * 1024 * 1024).run(full)
+        share = (meta.block_accesses - base.block_accesses) / meta.block_accesses
+        # "more than half of all disk block references could come from
+        # these other accesses" — a large share, at least.
+        assert share > 0.3
+
+    def test_metadata_caches_well(self, medium_trace):
+        full = build_stream_with_metadata(medium_trace)
+        plain = build_stream(medium_trace)
+        with_meta = BlockCacheSimulator(4 * 1024 * 1024).run(full)
+        without = BlockCacheSimulator(4 * 1024 * 1024).run(plain)
+        # Adding highly-local metadata references lowers the miss ratio.
+        assert with_meta.miss_ratio < without.miss_ratio
+
+
+class TestExposure:
+    def test_write_through_has_zero_exposure(self, small_trace):
+        from repro.cache.policies import WRITE_THROUGH
+        from repro.cache.stream import build_stream
+
+        sim = BlockCacheSimulator(
+            1024 * 1024, policy=WRITE_THROUGH, track_exposure=True
+        )
+        sim.run(build_stream(small_trace))
+        assert sim.exposure.max_dirty_blocks == 0
+        assert sim.exposure.average_dirty_blocks(small_trace.duration) == 0.0
+
+    def test_exposure_ordering_by_policy(self, medium_trace):
+        from repro.cache.policies import DELAYED_WRITE, FLUSH_30S, FLUSH_5MIN
+        from repro.cache.stream import build_stream
+
+        stream = build_stream(medium_trace)
+        averages = {}
+        for policy in (FLUSH_30S, FLUSH_5MIN, DELAYED_WRITE):
+            sim = BlockCacheSimulator(
+                4 * 1024 * 1024, policy=policy, track_exposure=True
+            )
+            sim.run(stream)
+            averages[policy.label] = sim.exposure.average_dirty_blocks(
+                medium_trace.duration
+            )
+        assert (
+            averages["30 sec flush"]
+            < averages["5 min flush"]
+            < averages["delayed-write"]
+        )
+
+    def test_exposure_experiment_registered(self, small_trace):
+        from repro.experiments import run_one
+
+        result = run_one("exposure", small_trace)
+        assert "write-through" in result.rendered
+        assert result.data["avg_kb_write-through"] == 0.0
+        assert result.data["avg_kb_delayed-write"] >= result.data["avg_kb_5_min_flush"]
+
+    def test_integral_arithmetic(self):
+        from repro.cache.metrics import ExposureTracker
+
+        tracker = ExposureTracker()
+        tracker.update(0.0, 0)
+        tracker.update(10.0, 5)   # 0 dirty for 10 s
+        tracker.update(20.0, 0)   # 5 dirty for 10 s
+        assert tracker.average_dirty_blocks(20.0) == 2.5
+        assert tracker.max_dirty_blocks == 5

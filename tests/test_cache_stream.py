@@ -1,0 +1,104 @@
+"""Tests for the cache simulator's input stream builder."""
+
+from repro.analysis.accesses import Transfer
+from repro.cache.stream import Invalidation, build_stream
+from repro.trace.log import TraceLog
+from repro.trace.records import (
+    AccessMode,
+    CloseEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    TruncateEvent,
+    UnlinkEvent,
+)
+
+
+def _open(t, oid, fid=None, size=0, mode=AccessMode.READ, created=False, pos=0):
+    return OpenEvent(time=t, open_id=oid, file_id=fid if fid is not None else oid,
+                     user_id=1, size=size, mode=mode, created=created,
+                     initial_pos=pos)
+
+
+def test_whole_read_becomes_one_transfer():
+    log = TraceLog.from_events([
+        _open(0.0, 1, size=5000),
+        CloseEvent(time=1.0, open_id=1, final_pos=5000),
+    ])
+    (item,) = build_stream(log)
+    assert isinstance(item, Transfer)
+    assert (item.start, item.end, item.is_write) == (0, 5000, False)
+    assert item.time == 1.0
+
+
+def test_seek_yields_two_transfers_in_order():
+    log = TraceLog.from_events([
+        _open(0.0, 1, size=100_000),
+        SeekEvent(time=0.5, open_id=1, prev_pos=1000, new_pos=50_000),
+        CloseEvent(time=1.0, open_id=1, final_pos=51_000),
+    ])
+    items = build_stream(log)
+    assert [i.time for i in items] == [0.5, 1.0]
+    assert (items[0].start, items[0].end) == (0, 1000)
+    assert (items[1].start, items[1].end) == (50_000, 51_000)
+
+
+def test_creating_open_emits_invalidation_before_its_data():
+    log = TraceLog.from_events([
+        _open(0.0, 1, fid=7, size=0, mode=AccessMode.WRITE, created=True),
+        CloseEvent(time=0.0, open_id=1, final_pos=1000),  # same tick
+    ])
+    items = build_stream(log)
+    assert isinstance(items[0], Invalidation)
+    assert items[0].from_byte == 0
+    assert isinstance(items[1], Transfer)
+
+
+def test_unlink_and_truncate_become_invalidations():
+    log = TraceLog.from_events([
+        UnlinkEvent(time=1.0, file_id=3),
+        TruncateEvent(time=2.0, file_id=4, new_length=8192),
+    ])
+    items = build_stream(log)
+    assert items[0] == Invalidation(1.0, 3, 0)
+    assert items[1] == Invalidation(2.0, 4, 8192)
+
+
+def test_read_write_mode_marks_write():
+    log = TraceLog.from_events([
+        _open(0.0, 1, size=100, mode=AccessMode.READ_WRITE),
+        CloseEvent(time=1.0, open_id=1, final_pos=60),
+    ])
+    (item,) = build_stream(log)
+    assert item.is_write
+
+
+def test_exec_ignored_without_paging_flag():
+    log = TraceLog.from_events([ExecEvent(time=1.0, file_id=5, user_id=1, size=4096)])
+    assert build_stream(log) == []
+
+
+def test_exec_becomes_whole_file_read_with_paging():
+    log = TraceLog.from_events([ExecEvent(time=1.0, file_id=5, user_id=1, size=4096)])
+    (item,) = build_stream(log, include_paging=True)
+    assert isinstance(item, Transfer)
+    assert (item.start, item.end, item.is_write) == (0, 4096, False)
+
+
+def test_zero_size_exec_skipped_with_paging():
+    log = TraceLog.from_events([ExecEvent(time=1.0, file_id=5, user_id=1, size=0)])
+    assert build_stream(log, include_paging=True) == []
+
+
+def test_stream_is_time_sorted(small_trace):
+    items = build_stream(small_trace)
+    times = [i.time for i in items]
+    assert times == sorted(times)
+
+
+def test_zero_byte_runs_not_emitted():
+    log = TraceLog.from_events([
+        _open(0.0, 1, size=100),
+        CloseEvent(time=1.0, open_id=1, final_pos=0),
+    ])
+    assert build_stream(log) == []

@@ -1,0 +1,116 @@
+"""End-to-end tests for the trace-manipulation CLI commands."""
+
+import pytest
+
+from repro.cli.main import main
+from repro.trace.io_text import read_text
+from repro.trace.validate import validate
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cliops") / "base.trace"
+    assert main(["generate", "--profile", "A5", "--hours", "0.15",
+                 "--seed", "8", "-o", str(path)]) == 0
+    return str(path)
+
+
+class TestSlice:
+    def test_slice_window(self, trace_file, tmp_path):
+        out = tmp_path / "w.trace"
+        assert main(["slice", trace_file, "--start", "100", "--end", "300",
+                     "-o", str(out)]) == 0
+        log = read_text(str(out))
+        assert all(100 <= e.time < 300 for e in log)
+
+    def test_slice_default_bounds_keep_everything(self, trace_file, tmp_path):
+        out = tmp_path / "all.trace"
+        assert main(["slice", trace_file, "-o", str(out)]) == 0
+        assert len(read_text(str(out))) == len(read_text(trace_file))
+
+
+class TestFilter:
+    def test_filter_by_user(self, trace_file, tmp_path):
+        base = read_text(trace_file)
+        uid = sorted(base.user_ids())[0]
+        out = tmp_path / "u.trace"
+        assert main(["filter", trace_file, "--users", str(uid),
+                     "-o", str(out)]) == 0
+        filtered = read_text(str(out))
+        assert filtered.user_ids() <= {uid}
+        assert validate(filtered).ok
+
+    def test_filter_by_file(self, trace_file, tmp_path):
+        base = read_text(trace_file)
+        fid = sorted(base.file_ids())[0]
+        out = tmp_path / "f.trace"
+        assert main(["filter", trace_file, "--files", str(fid),
+                     "-o", str(out)]) == 0
+        assert validate(read_text(str(out))).ok
+
+
+class TestMerge:
+    def test_merge_two_traces(self, trace_file, tmp_path):
+        out = tmp_path / "m.trace"
+        assert main(["merge", trace_file, trace_file, "-o", str(out)]) == 0
+        merged = read_text(str(out))
+        assert len(merged) == 2 * len(read_text(trace_file))
+        assert validate(merged).ok
+
+
+class TestSystemCommand:
+    def test_system_all(self, capsys):
+        assert main(["system", "--hours", "0.1", "--seed", "2", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "fsck: clean" in out
+        assert "leffler" in out
+        assert "other_io" in out
+
+    def test_system_single(self, capsys):
+        assert main(["system", "--hours", "0.1", "--id", "static_scan"]) == 0
+        assert "Static scan" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_written(self, trace_file, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["report", trace_file, "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "## table6:" in text
+        assert "**Paper:**" in text
+
+
+class TestExport:
+    def test_export_figures(self, trace_file, tmp_path):
+        out = tmp_path / "figs"
+        assert main(["export-figures", trace_file, "-d", str(out)]) == 0
+        for fig in ("fig1", "fig2", "fig3", "fig4"):
+            text = (out / f"{fig}.csv").read_text()
+            lines = text.strip().splitlines()
+            assert len(lines) > 5
+            header = lines[0].split(",")
+            assert len(header) >= 2
+
+    def test_export_curves_monotone(self, trace_file, tmp_path):
+        out = tmp_path / "figs2"
+        main(["export-figures", trace_file, "-d", str(out)])
+        lines = (out / "fig3.csv").read_text().strip().splitlines()[1:]
+        fracs = [float(line.split(",")[1]) for line in lines]
+        assert fracs == sorted(fracs)
+        assert all(0.0 <= f <= 1.0 for f in fracs)
+
+    def test_sweep_csv(self, trace_file, tmp_path):
+        out = tmp_path / "sweep.csv"
+        assert main(["sweep", trace_file, "--kind", "blocksize",
+                     "--csv", str(out)]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0].startswith("block_size,no_cache")
+        assert len(lines) == 7  # header + six block sizes
+
+
+class TestTwoLevel:
+    def test_twolevel_command(self, trace_file, capsys):
+        assert main(["twolevel", trace_file, "--client-kb", "256",
+                     "--server-mb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "client" in out and "server" in out

@@ -1,0 +1,130 @@
+"""Edge-case tests across modules (error paths and rendering)."""
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.report import render_cdf_ascii, render_cdf_points
+from repro.clock import Clock
+from repro.trace.records import AccessMode
+from repro.unixfs.errors import EEXIST, EISDIR, ENOENT
+from repro.unixfs.filesystem import FileSystem, Whence
+from repro.workload.engine import Engine
+
+
+class TestRenderHelpers:
+    def test_render_cdf_points_table(self):
+        cdf = Cdf.from_samples([1.0, 2.0, 3.0])
+        text = render_cdf_points(cdf, [1.0, 2.0, 3.0], "value")
+        assert "value" in text
+        assert "100.0%" in text
+
+    def test_render_cdf_ascii_bars_grow(self):
+        cdf = Cdf.from_samples([1.0, 10.0])
+        text = render_cdf_ascii(cdf, [1.0, 10.0], "x", width=10)
+        lines = text.splitlines()[1:]
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_custom_x_format(self):
+        cdf = Cdf.from_samples([1024.0])
+        text = render_cdf_points(
+            cdf, [1024.0], "size", x_format=lambda x: f"{x / 1024:.0f}K"
+        )
+        assert "1K" in text
+
+
+class TestFileSystemEdges:
+    def test_mkdir_where_file_exists(self, fs):
+        fd = fs.creat("/x")
+        fs.close(fd)
+        with pytest.raises(EEXIST):
+            fs.mkdir("/x")
+
+    def test_open_directory_read_only_allowed(self, fs):
+        fs.mkdir("/d")
+        fd = fs.open("/d", AccessMode.READ)
+        fs.close(fd)  # directories could be read as files in 4.2 BSD
+
+    def test_rename_missing_source(self, fs):
+        with pytest.raises(ENOENT):
+            fs.rename("/nope", "/other")
+
+    def test_rename_over_directory_fails(self, fs):
+        fd = fs.creat("/f")
+        fs.close(fd)
+        fs.mkdir("/d")
+        with pytest.raises(EISDIR):
+            fs.rename("/f", "/d")
+
+    def test_rename_directory_moves_subtree(self, fs):
+        fs.makedirs("/a/b")
+        fd = fs.creat("/a/b/f")
+        fs.close(fd)
+        fs.rename("/a", "/z")
+        assert fs.exists("/z/b/f")
+        assert not fs.exists("/a")
+
+    def test_seek_cur_and_end_on_empty_file(self, fs):
+        fd = fs.creat("/f")
+        assert fs.lseek(fd, 0, Whence.END) == 0
+        assert fs.lseek(fd, 5, Whence.CUR) == 5
+        fs.close(fd)
+
+    def test_zero_length_write_is_noop(self, fs):
+        fd = fs.creat("/f")
+        assert fs.write(fd, b"") == 0
+        assert fs.write(fd, 0) == 0
+        fs.close(fd)
+        assert fs.stat("/f").size == 0
+
+    def test_negative_read_rejected(self, fs):
+        fd = fs.creat("/f")
+        fs.close(fd)
+        fd = fs.open("/f", AccessMode.READ)
+        with pytest.raises(Exception):
+            fs.read(fd, -1)
+        fs.close(fd)
+
+    def test_sync_returns_dirty_count(self, clock):
+        fs = FileSystem(clock=clock, sync_interval=1e9)  # no auto-sync
+        fd = fs.creat("/f")
+        fs.write(fd, 3 * 4096)
+        fs.close(fd)
+        assert fs.sync() == 3
+
+
+class TestEngineEdges:
+    def test_process_exception_propagates(self):
+        def bad():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        engine = Engine(Clock())
+        engine.spawn(bad())
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run(until=10.0)
+
+    def test_run_twice_is_safe(self):
+        clock = Clock()
+        engine = Engine(clock)
+
+        def proc():
+            yield 1.0
+
+        engine.spawn(proc())
+        engine.run(until=5.0)
+        engine.run(until=10.0)  # nothing pending: no-op
+        assert clock.now() == 10.0
+
+    def test_spawn_after_run_works(self):
+        clock = Clock()
+        engine = Engine(clock)
+        engine.run(until=5.0)
+        ticks = []
+
+        def proc():
+            ticks.append(clock.now())
+            yield 1.0
+
+        engine.spawn(proc())
+        engine.run(until=10.0)
+        assert ticks == [5.0]

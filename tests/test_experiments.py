@@ -1,0 +1,81 @@
+"""Tests for the experiment registry and the per-exhibit drivers."""
+
+import pytest
+
+from repro.experiments import REGISTRY, all_ids, get, paper_vs_measured, run_all, run_one
+
+EXPECTED_IDS = {
+    "table1", "table3", "table4", "table5", "table6", "table7",
+    "fig1", "fig2", "fig3", "fig4", "fig7", "intervals", "residency",
+    "burstiness", "metadata", "exposure",
+}
+
+
+class TestRegistry:
+    def test_every_paper_exhibit_registered(self):
+        assert set(all_ids()) == EXPECTED_IDS
+
+    def test_each_has_title_and_claim(self):
+        for experiment in REGISTRY.values():
+            assert experiment.title
+            assert experiment.paper_claim
+
+    def test_unknown_id_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="table6"):
+            get("table99")
+
+
+class TestRuns:
+    @pytest.fixture(scope="class")
+    def results(self, small_trace):
+        return {r.experiment_id: r for r in run_all(small_trace)}
+
+    def test_all_run(self, results):
+        assert set(results) == EXPECTED_IDS
+
+    def test_rendered_nonempty(self, results):
+        for result in results.values():
+            assert result.rendered.strip()
+
+    def test_table1_data_keys(self, results):
+        data = results["table1"].data
+        assert 0 < data["eliminated_delayed_4mb"] <= 1
+        assert data["best_block_small"] in (1024, 2048, 4096, 8192, 16384, 32768)
+
+    def test_table4_active_users_positive(self, results):
+        assert results["table4"].data["active_10min"] > 0
+
+    def test_table5_percentages_in_range(self, results):
+        data = results["table5"].data
+        for key in ("whole_read_pct", "whole_write_pct", "seq_read_pct"):
+            assert 0 <= data[key] <= 100
+
+    def test_fig_curves_are_monotone(self, results):
+        for fig in ("fig1", "fig2", "fig3", "fig4"):
+            for key, value in results[fig].data.items():
+                if key.startswith("curve"):
+                    fracs = [f for _x, f in value]
+                    assert fracs == sorted(fracs), (fig, key)
+
+    def test_table6_policy_order(self, results):
+        data = results["table6"].data
+        assert data["wt_4mb"] >= data["delayed_4mb"] >= data["delayed_16mb"]
+
+    def test_residency_fractions(self, results):
+        data = results["residency"].data
+        assert 0 <= data["resident_over_20min"] <= 1
+        assert 0 <= data["dirty_discard_16mb"] <= 1
+
+    def test_run_one_matches_run_all(self, small_trace, results):
+        single = run_one("table5", small_trace)
+        assert single.data == results["table5"].data
+
+    def test_str_includes_id(self, results):
+        assert "table3" in str(results["table3"])
+
+
+def test_paper_vs_measured_covers_everything(small_trace):
+    text = paper_vs_measured(small_trace)
+    for eid in EXPECTED_IDS:
+        assert f"## {eid}:" in text
+    assert text.count("**Paper:**") == len(EXPECTED_IDS)

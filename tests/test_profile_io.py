@@ -1,0 +1,91 @@
+"""Tests for JSON profile load/save."""
+
+import json
+
+import pytest
+
+from repro.workload.generator import generate_trace
+from repro.workload.profile_io import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.workload.profiles import UCBARPA
+
+GOOD = {
+    "name": "mylab",
+    "n_users": 4,
+    "memory_mb": 8,
+    "activity_mix": {"compile": 0.5, "shell": 0.5},
+}
+
+
+class TestFromDict:
+    def test_minimal_profile(self):
+        profile = profile_from_dict(dict(GOOD))
+        assert profile.name == "mylab"
+        assert profile.memory_bytes == 8 * 1024 * 1024
+        assert profile.buffer_cache_bytes == 8 * 1024 * 1024 // 10
+        assert dict(profile.activity_mix) == GOOD["activity_mix"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile keys"):
+            profile_from_dict({**GOOD, "memroy_mb": 4})
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ValueError, match="required"):
+            profile_from_dict({"name": "x"})
+
+    def test_unknown_activity_rejected(self):
+        with pytest.raises(ValueError, match="unknown activities"):
+            profile_from_dict({**GOOD, "activity_mix": {"frobnicate": 1.0}})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            profile_from_dict({**GOOD, "activity_mix": {}})
+
+    def test_think_and_diurnal_parsed(self):
+        profile = profile_from_dict({
+            **GOOD,
+            "think": {"burst_mean": 1.5, "idle_mean": 60.0, "idle_prob": 0.3},
+            "diurnal": {"peak_hour": 10.0, "night_slowdown": 4.0},
+        })
+        assert profile.think.burst_mean == 1.5
+        assert profile.diurnal.peak_hour == 10.0
+
+    def test_generated_trace_from_custom_profile(self):
+        profile = profile_from_dict(dict(GOOD))
+        log = generate_trace(profile, seed=3, duration=300.0)
+        assert len(log) > 0
+        assert log.name == "mylab"
+
+
+class TestRoundTrip:
+    def test_builtin_round_trips(self, tmp_path):
+        path = tmp_path / "a5.json"
+        save_profile(UCBARPA, str(path))
+        loaded = load_profile(str(path))
+        assert loaded.name == UCBARPA.name
+        assert loaded.n_users == UCBARPA.n_users
+        assert dict(loaded.activity_mix) == dict(UCBARPA.activity_mix)
+        assert loaded.think == UCBARPA.think
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "a5.json"
+        save_profile(UCBARPA, str(path))
+        data = json.loads(path.read_text())
+        assert data["name"] == "ucbarpa"
+
+
+class TestCli:
+    def test_generate_with_profile_file(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        profile_path = tmp_path / "lab.json"
+        profile_path.write_text(json.dumps({**GOOD, "trace_name": "L1"}))
+        out = tmp_path / "lab.trace"
+        rc = main(["generate", "--profile-file", str(profile_path),
+                   "--hours", "0.05", "--seed", "1", "-o", str(out)])
+        assert rc == 0
+        assert "L1" in capsys.readouterr().out

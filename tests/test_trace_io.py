@@ -1,0 +1,132 @@
+"""Tests for the text and binary trace serializations."""
+
+import io
+
+import pytest
+
+from repro.trace.io_binary import BinaryTraceError, read_binary, write_binary
+from repro.trace.io_text import (
+    TraceFormatError,
+    format_event,
+    iter_text,
+    parse_event_line,
+    read_text,
+    write_text,
+)
+from repro.trace.log import TraceLog
+from repro.trace.records import (
+    AccessMode,
+    CloseEvent,
+    CreateEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    TruncateEvent,
+    UnlinkEvent,
+)
+
+ALL_EVENT_SAMPLES = [
+    OpenEvent(time=1.25, open_id=7, file_id=3, user_id=2, size=4096,
+              mode=AccessMode.READ_WRITE, created=True, new_file=True,
+              initial_pos=4096),
+    CloseEvent(time=2.5, open_id=7, final_pos=8192),
+    SeekEvent(time=2.0, open_id=7, prev_pos=100, new_pos=4000),
+    CreateEvent(time=0.5, file_id=3, user_id=2),
+    UnlinkEvent(time=3.0, file_id=3),
+    TruncateEvent(time=3.5, file_id=4, new_length=1024),
+    ExecEvent(time=4.0, file_id=5, user_id=2, size=65536),
+]
+
+
+def sample_log() -> TraceLog:
+    return TraceLog.from_events(ALL_EVENT_SAMPLES, name="io-test",
+                                description="round trip sample")
+
+
+class TestTextFormat:
+    @pytest.mark.parametrize("event", ALL_EVENT_SAMPLES, ids=lambda e: e.kind)
+    def test_event_round_trip(self, event):
+        assert parse_event_line(format_event(event)) == event
+
+    def test_log_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "t.trace"
+        log = sample_log()
+        write_text(log, str(path))
+        loaded = read_text(str(path))
+        assert loaded.name == "io-test"
+        assert loaded.description == "round trip sample"
+        assert loaded.events == log.events
+
+    def test_log_round_trip_via_stream(self):
+        buf = io.StringIO()
+        write_text(sample_log(), buf)
+        buf.seek(0)
+        assert read_text(buf).events == sample_log().events
+
+    def test_iter_text_streams_events(self):
+        buf = io.StringIO()
+        write_text(sample_log(), buf)
+        buf.seek(0)
+        assert list(iter_text(buf)) == sample_log().events
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# comment\n\n" + format_event(ALL_EVENT_SAMPLES[4]) + "\n"
+        log = read_text(io.StringIO(text))
+        assert len(log) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown event kind"):
+            parse_event_line("mystery\t1.0\t2")
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(TraceFormatError, match="malformed"):
+            parse_event_line("open\t1.0\tnot-an-int")
+
+    def test_times_written_with_tick_precision(self):
+        line = format_event(UnlinkEvent(time=1.239, file_id=1))
+        assert "\t1.24\t" in line
+
+
+class TestBinaryFormat:
+    def test_log_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "t.btrace"
+        log = sample_log()
+        write_binary(log, str(path))
+        loaded = read_binary(str(path))
+        assert loaded.name == log.name
+        assert loaded.description == log.description
+        assert loaded.events == log.events
+
+    def test_round_trip_via_stream(self):
+        buf = io.BytesIO()
+        write_binary(sample_log(), buf)
+        buf.seek(0)
+        assert read_binary(buf).events == sample_log().events
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BinaryTraceError, match="magic"):
+            read_binary(io.BytesIO(b"NOTATRACEFILE ..."))
+
+    def test_truncated_file_rejected(self):
+        buf = io.BytesIO()
+        write_binary(sample_log(), buf)
+        data = buf.getvalue()
+        with pytest.raises(BinaryTraceError, match="truncated"):
+            read_binary(io.BytesIO(data[: len(data) - 3]))
+
+    def test_binary_is_smaller_than_text(self):
+        events = ALL_EVENT_SAMPLES * 100
+        log = TraceLog.from_events(events)
+        tbuf = io.StringIO()
+        write_text(log, tbuf)
+        bbuf = io.BytesIO()
+        write_binary(log, bbuf)
+        assert len(bbuf.getvalue()) < len(tbuf.getvalue().encode())
+
+    def test_empty_log_round_trips(self):
+        buf = io.BytesIO()
+        write_binary(TraceLog(name="empty"), buf)
+        buf.seek(0)
+        loaded = read_binary(buf)
+        assert loaded.name == "empty"
+        assert len(loaded) == 0

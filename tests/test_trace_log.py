@@ -1,0 +1,117 @@
+"""Tests for repro.trace.log."""
+
+import pytest
+
+from repro.trace.log import TraceLog
+from repro.trace.records import (
+    AccessMode,
+    CloseEvent,
+    OpenEvent,
+    UnlinkEvent,
+)
+
+
+def _open(t, oid=1, fid=1, uid=1, size=0, mode=AccessMode.READ):
+    return OpenEvent(
+        time=t, open_id=oid, file_id=fid, user_id=uid, size=size, mode=mode
+    )
+
+
+class TestAppend:
+    def test_append_keeps_order(self):
+        log = TraceLog()
+        log.append(_open(1.0))
+        log.append(CloseEvent(time=2.0, open_id=1, final_pos=0))
+        assert len(log) == 2
+
+    def test_append_same_time_allowed(self):
+        log = TraceLog()
+        log.append(_open(1.0))
+        log.append(CloseEvent(time=1.0, open_id=1, final_pos=0))
+        assert len(log) == 2
+
+    def test_append_out_of_order_rejected(self):
+        log = TraceLog()
+        log.append(_open(2.0))
+        with pytest.raises(ValueError, match="time order"):
+            log.append(CloseEvent(time=1.0, open_id=1, final_pos=0))
+
+    def test_extend(self):
+        log = TraceLog()
+        log.extend([_open(1.0), CloseEvent(time=1.5, open_id=1, final_pos=0)])
+        assert len(log) == 2
+
+
+class TestFromEvents:
+    def test_sorts_by_time(self):
+        events = [
+            CloseEvent(time=5.0, open_id=1, final_pos=0),
+            _open(1.0),
+        ]
+        log = TraceLog.from_events(events)
+        assert log.events[0].time == 1.0
+
+    def test_name_and_description_kept(self):
+        log = TraceLog.from_events([], name="X", description="d")
+        assert log.name == "X"
+        assert log.description == "d"
+
+
+class TestDerived:
+    def test_empty_log_properties(self):
+        log = TraceLog()
+        assert log.duration == 0.0
+        assert log.start_time == 0.0
+        assert log.end_time == 0.0
+
+    def test_duration(self):
+        log = TraceLog.from_events(
+            [_open(2.0), CloseEvent(time=12.0, open_id=1, final_pos=0)]
+        )
+        assert log.duration == pytest.approx(10.0)
+
+    def test_count_by_kind(self):
+        log = TraceLog.from_events(
+            [_open(1.0), _open(2.0, oid=2), UnlinkEvent(time=3.0, file_id=1)]
+        )
+        assert log.count("open") == 2
+        assert log.count("unlink") == 1
+        assert log.count("seek") == 0
+
+    def test_of_kind(self):
+        log = TraceLog.from_events([_open(1.0), UnlinkEvent(time=2.0, file_id=9)])
+        unlinks = log.of_kind("unlink")
+        assert len(unlinks) == 1
+        assert unlinks[0].file_id == 9
+
+    def test_user_ids(self):
+        log = TraceLog.from_events([_open(1.0, uid=3), _open(2.0, oid=2, uid=8)])
+        assert log.user_ids() == {3, 8}
+
+    def test_file_ids(self):
+        log = TraceLog.from_events(
+            [_open(1.0, fid=3), UnlinkEvent(time=2.0, file_id=44)]
+        )
+        assert log.file_ids() == {3, 44}
+
+    def test_iteration_and_indexing(self):
+        log = TraceLog.from_events([_open(1.0), _open(2.0, oid=2)])
+        assert [e.time for e in log] == [1.0, 2.0]
+        assert log[0].time == 1.0
+        assert log[-1].open_id == 2
+
+
+class TestSlice:
+    def test_slice_half_open_interval(self):
+        log = TraceLog.from_events([_open(1.0), _open(2.0, oid=2), _open(3.0, oid=3)])
+        sliced = log.slice(1.0, 3.0)
+        assert [e.open_id for e in sliced] == [1, 2]
+
+    def test_slice_names_the_window(self):
+        log = TraceLog(name="A5")
+        assert "A5" in log.slice(0, 10).name
+
+    def test_summary_line_mentions_name_and_count(self):
+        log = TraceLog.from_events([_open(0.0)], name="E3")
+        line = log.summary_line()
+        assert "E3" in line and "1 events" in line

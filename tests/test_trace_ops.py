@@ -1,0 +1,126 @@
+"""Tests for repro.trace.ops (filter/merge/shift/renumber)."""
+
+import pytest
+
+from repro.trace.log import TraceLog
+from repro.trace.ops import (
+    filter_files,
+    filter_users,
+    merge,
+    renumber_opens,
+    shift_time,
+)
+from repro.trace.records import (
+    AccessMode,
+    CloseEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    UnlinkEvent,
+)
+from repro.trace.validate import validate
+
+
+def _trace_two_users() -> TraceLog:
+    return TraceLog.from_events([
+        OpenEvent(time=0.0, open_id=1, file_id=10, user_id=1, size=100,
+                  mode=AccessMode.READ),
+        OpenEvent(time=0.5, open_id=2, file_id=20, user_id=2, size=100,
+                  mode=AccessMode.WRITE, created=True, new_file=True),
+        SeekEvent(time=1.0, open_id=1, prev_pos=50, new_pos=80),
+        CloseEvent(time=2.0, open_id=1, final_pos=100),
+        CloseEvent(time=2.5, open_id=2, final_pos=60),
+        ExecEvent(time=3.0, file_id=30, user_id=2, size=4096),
+        UnlinkEvent(time=4.0, file_id=20),
+    ])
+
+
+class TestFilterUsers:
+    def test_keeps_only_that_users_opens(self):
+        out = filter_users(_trace_two_users(), [1])
+        assert out.count("open") == 1
+        assert out.of_kind("open")[0].user_id == 1
+
+    def test_drags_seeks_and_closes_along(self):
+        out = filter_users(_trace_two_users(), [1])
+        assert out.count("seek") == 1
+        assert out.count("close") == 1
+
+    def test_unlink_kept_when_user_touched_file(self):
+        out = filter_users(_trace_two_users(), [2])
+        assert out.count("unlink") == 1
+
+    def test_unlink_dropped_for_other_user(self):
+        out = filter_users(_trace_two_users(), [1])
+        assert out.count("unlink") == 0
+
+    def test_exec_follows_user(self):
+        assert filter_users(_trace_two_users(), [2]).count("exec") == 1
+        assert filter_users(_trace_two_users(), [1]).count("exec") == 0
+
+    def test_result_validates(self):
+        assert validate(filter_users(_trace_two_users(), [1])).ok
+
+
+class TestFilterFiles:
+    def test_keeps_only_those_files(self):
+        out = filter_files(_trace_two_users(), [20])
+        assert out.count("open") == 1
+        assert out.count("unlink") == 1
+        assert out.count("seek") == 0
+
+    def test_result_validates(self):
+        assert validate(filter_files(_trace_two_users(), [10])).ok
+
+
+class TestShiftTime:
+    def test_shifts_all_events(self):
+        out = shift_time(_trace_two_users(), 100.0)
+        assert out.start_time == pytest.approx(100.0)
+        assert out.end_time == pytest.approx(104.0)
+
+    def test_preserves_event_payload(self):
+        out = shift_time(_trace_two_users(), 10.0)
+        opens = out.of_kind("open")
+        assert opens[1].created and opens[1].new_file
+
+
+class TestRenumber:
+    def test_ids_become_dense_from_bases(self):
+        out = renumber_opens(_trace_two_users(), open_id_base=100,
+                             file_id_base=200, user_id_base=300)
+        opens = out.of_kind("open")
+        assert {o.open_id for o in opens} == {100, 101}
+        assert {o.file_id for o in opens} == {200, 201}
+        assert {o.user_id for o in opens} == {300, 301}
+
+    def test_close_follows_its_open(self):
+        out = renumber_opens(_trace_two_users())
+        assert validate(out).ok
+
+    def test_consistent_file_ids_across_kinds(self):
+        out = renumber_opens(_trace_two_users())
+        open2 = out.of_kind("open")[1]
+        unlink = out.of_kind("unlink")[0]
+        assert unlink.file_id == open2.file_id
+
+
+class TestMerge:
+    def test_merge_is_time_ordered_and_valid(self):
+        a = _trace_two_users()
+        b = shift_time(_trace_two_users(), 0.25)
+        merged = merge([a, b])
+        times = [e.time for e in merged]
+        assert times == sorted(times)
+        assert validate(merged).ok
+
+    def test_merge_preserves_all_events(self):
+        a = _trace_two_users()
+        merged = merge([a, a])
+        assert len(merged) == 2 * len(a)
+
+    def test_merged_id_spaces_disjoint(self):
+        a = _trace_two_users()
+        merged = merge([a, a])
+        opens = merged.of_kind("open")
+        assert len({o.open_id for o in opens}) == len(opens)

@@ -1,0 +1,133 @@
+"""Tests for repro.trace.stats (Table III) and intervals (Section 3.1)."""
+
+import pytest
+
+from repro.trace.intervals import event_intervals, interval_stats
+from repro.trace.log import TraceLog
+from repro.trace.records import (
+    AccessMode,
+    CloseEvent,
+    OpenEvent,
+    SeekEvent,
+    UnlinkEvent,
+)
+from repro.trace.stats import compute_stats, total_bytes_transferred
+
+
+def _open(t, oid, size=0, mode=AccessMode.READ, created=False, new_file=False,
+          pos=0):
+    return OpenEvent(time=t, open_id=oid, file_id=oid, user_id=1, size=size,
+                     mode=mode, created=created, new_file=new_file,
+                     initial_pos=pos)
+
+
+class TestBytesTransferred:
+    def test_whole_file_read(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=1000),
+            CloseEvent(time=1.0, open_id=1, final_pos=1000),
+        ])
+        assert total_bytes_transferred(log) == 1000
+
+    def test_seek_splits_runs(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=10_000),
+            SeekEvent(time=0.5, open_id=1, prev_pos=2000, new_pos=8000),
+            CloseEvent(time=1.0, open_id=1, final_pos=9000),
+        ])
+        # 0..2000 before the seek, 8000..9000 after = 3000 bytes.
+        assert total_bytes_transferred(log) == 3000
+
+    def test_append_counts_from_initial_pos(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=500, mode=AccessMode.WRITE, pos=500),
+            CloseEvent(time=1.0, open_id=1, final_pos=700),
+        ])
+        assert total_bytes_transferred(log) == 200
+
+    def test_orphan_close_ignored(self):
+        log = TraceLog.from_events([CloseEvent(time=1.0, open_id=5, final_pos=900)])
+        assert total_bytes_transferred(log) == 0
+
+    def test_no_transfer_zero(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=100),
+            CloseEvent(time=1.0, open_id=1, final_pos=0),
+        ])
+        assert total_bytes_transferred(log) == 0
+
+
+class TestComputeStats:
+    def test_new_file_counts_as_create(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, created=True, new_file=True),
+            CloseEvent(time=0.1, open_id=1, final_pos=10),
+        ])
+        stats = compute_stats(log)
+        assert stats.kind_counts["create"] == 1
+        assert stats.kind_counts.get("open", 0) == 0
+
+    def test_truncating_open_of_existing_file_counts_as_open(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, created=True, new_file=False),
+            CloseEvent(time=0.1, open_id=1, final_pos=10),
+        ])
+        stats = compute_stats(log)
+        assert stats.kind_counts.get("create", 0) == 0
+        assert stats.kind_counts["open"] == 1
+
+    def test_percentages_sum_to_100(self, small_trace):
+        stats = compute_stats(small_trace)
+        total = sum(stats.kind_percent(k) for k in stats.kind_counts)
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_duration_hours(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1),
+            UnlinkEvent(time=7200.0, file_id=1),
+        ])
+        assert compute_stats(log).duration_hours == pytest.approx(2.0)
+
+    def test_render_contains_paper_rows(self, small_trace):
+        text = compute_stats(small_trace).render()
+        for label in ("Duration (hours)", "Number of trace records",
+                      "create events", "execve"):
+            assert label in text
+
+    def test_trace_file_size_positive(self, small_trace):
+        assert compute_stats(small_trace).trace_file_mbytes > 0
+
+
+class TestIntervals:
+    def test_intervals_within_one_open(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1, size=100),
+            SeekEvent(time=2.0, open_id=1, prev_pos=10, new_pos=20),
+            CloseEvent(time=5.0, open_id=1, final_pos=30),
+        ])
+        assert event_intervals(log) == [2.0, 3.0]
+
+    def test_intervals_do_not_cross_opens(self):
+        log = TraceLog.from_events([
+            _open(0.0, 1),
+            CloseEvent(time=1.0, open_id=1, final_pos=0),
+            _open(100.0, 2),
+            CloseEvent(time=101.0, open_id=2, final_pos=0),
+        ])
+        assert event_intervals(log) == [1.0, 1.0]
+
+    def test_stats_quantiles_ordered(self, small_trace):
+        stats = interval_stats(small_trace)
+        assert 0 <= stats.p75 <= stats.p90 <= stats.p99 <= stats.maximum
+
+    def test_paper_bound_holds_on_synthetic_trace(self, medium_trace):
+        # Section 3.1: the whole point of no-read-write tracing is that the
+        # bounds are tight; our workload keeps 90% of gaps under 10 s.
+        stats = interval_stats(medium_trace)
+        assert stats.p75 < 0.5
+        assert stats.p90 < 10.0
+
+    def test_empty_trace(self):
+        stats = interval_stats(TraceLog())
+        assert stats.count == 0
+        assert stats.maximum == 0.0

@@ -1,0 +1,97 @@
+"""Tests for repro.trace.validate."""
+
+from repro.trace.log import TraceLog
+from repro.trace.records import (
+    AccessMode,
+    CloseEvent,
+    OpenEvent,
+    SeekEvent,
+    TruncateEvent,
+)
+from repro.trace.validate import validate
+
+
+def _open(t, oid, size=100, pos=0):
+    return OpenEvent(time=t, open_id=oid, file_id=oid, user_id=1, size=size,
+                     mode=AccessMode.READ, initial_pos=pos)
+
+
+def test_clean_trace_passes(simple_trace):
+    report = validate(simple_trace)
+    assert report.ok
+    assert report.event_count == len(simple_trace)
+    assert report.open_count == 3
+    assert report.unmatched_opens == 0
+
+
+def test_unclosed_open_counted_not_flagged():
+    log = TraceLog.from_events([_open(1.0, 1)])
+    report = validate(log)
+    assert report.ok
+    assert report.unmatched_opens == 1
+
+
+def test_double_open_id_flagged():
+    log = TraceLog.from_events([_open(1.0, 1), _open(2.0, 1)])
+    report = validate(log)
+    assert not report.ok
+    assert any("opened twice" in p for p in report.problems)
+
+
+def test_close_unknown_open_flagged():
+    log = TraceLog.from_events([CloseEvent(time=1.0, open_id=9, final_pos=0)])
+    assert any("unknown open_id" in p for p in validate(log).problems)
+
+
+def test_double_close_flagged():
+    log = TraceLog.from_events([
+        _open(1.0, 1),
+        CloseEvent(time=2.0, open_id=1, final_pos=0),
+        CloseEvent(time=3.0, open_id=1, final_pos=0),
+    ])
+    problems = validate(log).problems
+    assert any("closed twice" in p for p in problems)
+
+
+def test_open_id_reuse_after_close_flagged():
+    log = TraceLog.from_events([
+        _open(1.0, 1),
+        CloseEvent(time=2.0, open_id=1, final_pos=0),
+        _open(3.0, 1),
+    ])
+    assert any("reused after close" in p for p in validate(log).problems)
+
+
+def test_seek_unknown_open_flagged():
+    log = TraceLog.from_events([SeekEvent(time=1.0, open_id=5, prev_pos=0, new_pos=1)])
+    assert any("unknown open_id" in p for p in validate(log).problems)
+
+
+def test_time_going_backwards_flagged():
+    # Bypass TraceLog.append ordering check by constructing directly.
+    log = TraceLog(events=[_open(2.0, 1), CloseEvent(time=1.0, open_id=1, final_pos=0)])
+    assert any("precedes" in p for p in validate(log).problems)
+
+
+def test_initial_pos_beyond_size_flagged():
+    log = TraceLog.from_events([_open(1.0, 1, size=10, pos=20)])
+    assert any("beyond" in p for p in validate(log).problems)
+
+
+def test_negative_truncate_flagged():
+    log = TraceLog.from_events([TruncateEvent(time=1.0, file_id=1, new_length=-1)])
+    assert any("negative" in p for p in validate(log).problems)
+
+
+def test_problem_list_bounded():
+    events = [CloseEvent(time=float(i), open_id=i, final_pos=0) for i in range(1, 200)]
+    report = validate(TraceLog.from_events(events))
+    assert len(report.problems) <= report.max_problems + 1
+
+
+def test_report_str_mentions_status(simple_trace):
+    assert "OK" in str(validate(simple_trace))
+
+
+def test_generated_trace_validates(small_trace):
+    assert validate(small_trace).ok

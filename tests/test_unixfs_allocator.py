@@ -1,0 +1,139 @@
+"""Tests for the FFS-style block/fragment allocator."""
+
+import random
+
+import pytest
+
+from repro.unixfs.allocator import BlockAllocator, Extent
+from repro.unixfs.errors import EINVAL, ENOSPC
+from repro.unixfs.geometry import Geometry
+
+SMALL = Geometry(block_size=4096, frag_size=1024, total_bytes=64 * 4096)
+
+
+@pytest.fixture
+def alloc() -> BlockAllocator:
+    return BlockAllocator(SMALL)
+
+
+class TestBasicAllocation:
+    def test_starts_empty(self, alloc):
+        assert alloc.allocated_bytes == 0
+        assert alloc.free_bytes == SMALL.total_bytes
+
+    def test_grow_small_file_uses_fragments(self, alloc):
+        ext = Extent()
+        alloc.resize(ext, 1500)
+        assert ext.blocks == []
+        assert ext.tail_frags == 2
+        assert alloc.allocated_bytes == 2 * 1024
+
+    def test_grow_to_exact_block(self, alloc):
+        ext = Extent()
+        alloc.resize(ext, 4096)
+        assert len(ext.blocks) == 1
+        assert ext.tail_frags == 0
+
+    def test_grow_multi_block_with_tail(self, alloc):
+        ext = Extent()
+        alloc.resize(ext, 10_000)
+        assert len(ext.blocks) == 2
+        assert ext.tail_frags == 2
+        assert alloc.allocated_bytes == SMALL.allocated_bytes(10_000)
+
+    def test_shrink_releases_space(self, alloc):
+        ext = Extent()
+        alloc.resize(ext, 20_000)
+        alloc.resize(ext, 100)
+        assert alloc.allocated_bytes == 1024
+        assert len(ext.blocks) == 0
+        assert ext.tail_frags == 1
+
+    def test_release_frees_everything(self, alloc):
+        ext = Extent()
+        alloc.resize(ext, 12_345)
+        alloc.release(ext)
+        assert alloc.allocated_bytes == 0
+
+    def test_negative_size_rejected(self, alloc):
+        with pytest.raises(EINVAL):
+            alloc.resize(Extent(), -5)
+
+
+class TestFragmentPromotion:
+    def test_tail_promoted_when_file_grows_past_block(self, alloc):
+        ext = Extent()
+        alloc.resize(ext, 1500)  # 2 tail frags
+        alloc.resize(ext, 6000)  # 1 full block + 2 tail frags
+        assert len(ext.blocks) == 1
+        assert ext.tail_frags == 2
+        assert alloc.stats.frag_promotions == 1
+
+    def test_growth_within_tail_does_not_promote(self, alloc):
+        ext = Extent()
+        alloc.resize(ext, 100)
+        alloc.resize(ext, 2000)
+        assert alloc.stats.frag_promotions == 0
+        assert ext.tail_frags == 2
+
+
+class TestExhaustion:
+    def test_enospc_when_full(self, alloc):
+        big = Extent()
+        alloc.resize(big, SMALL.total_bytes)
+        with pytest.raises(ENOSPC):
+            alloc.resize(Extent(), 4096)
+
+    def test_space_reusable_after_release(self, alloc):
+        big = Extent()
+        alloc.resize(big, SMALL.total_bytes)
+        alloc.release(big)
+        ext = Extent()
+        alloc.resize(ext, 4096)  # works again
+        assert len(ext.blocks) == 1
+
+    def test_many_small_files_fill_device_densely(self, alloc):
+        # 64 blocks * 4 frags = 256 frags; 256 one-frag files must all fit.
+        extents = []
+        for _ in range(256):
+            ext = Extent()
+            alloc.resize(ext, 100)
+            extents.append(ext)
+        assert alloc.free_frags == 0
+        with pytest.raises(ENOSPC):
+            alloc.resize(Extent(), 100)
+
+
+class TestAccountingInvariants:
+    def test_random_workload_conserves_space(self):
+        rng = random.Random(99)
+        alloc = BlockAllocator(SMALL)
+        extents: dict[int, tuple[Extent, int]] = {}
+        for i in range(500):
+            if extents and rng.random() < 0.4:
+                key = rng.choice(list(extents))
+                ext, _size = extents.pop(key)
+                alloc.release(ext)
+            else:
+                ext, size = Extent(), rng.randint(0, 30_000)
+                try:
+                    alloc.resize(ext, size)
+                except ENOSPC:
+                    continue
+                extents[i] = (ext, size)
+            held = sum(
+                SMALL.allocated_bytes(size) for _, size in extents.values()
+            )
+            assert alloc.allocated_bytes == held
+        for ext, _size in extents.values():
+            alloc.release(ext)
+        assert alloc.allocated_bytes == 0
+
+    def test_stats_counters_move(self, alloc):
+        ext = Extent()
+        alloc.resize(ext, 10_000)
+        alloc.release(ext)
+        assert alloc.stats.blocks_allocated >= 2
+        assert alloc.stats.blocks_freed >= 2
+        assert alloc.stats.frag_allocations >= 1
+        assert alloc.stats.frag_frees >= 1

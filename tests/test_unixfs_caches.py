@@ -1,0 +1,139 @@
+"""Tests for the kernel buffer cache, inode cache and DNLC."""
+
+import pytest
+
+from repro.unixfs.buffercache import BufferCache
+from repro.unixfs.errors import EINVAL
+from repro.unixfs.inode import InodeCache
+from repro.unixfs.namei import Dnlc
+
+
+class TestBufferCache:
+    def test_first_access_misses_then_hits(self):
+        cache = BufferCache(capacity_bytes=16 * 4096)
+        cache.access(file_id=1, offset=0, length=4096, write=False)
+        cache.access(file_id=1, offset=0, length=4096, write=False)
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_range_split_into_blocks(self):
+        cache = BufferCache(capacity_bytes=64 * 4096)
+        cache.access(file_id=1, offset=0, length=3 * 4096 + 1, write=False)
+        assert cache.stats.read_misses == 4
+
+    def test_partial_block_range_counts_edge_blocks(self):
+        cache = BufferCache(capacity_bytes=64 * 4096)
+        cache.access(file_id=1, offset=4000, length=200, write=False)
+        assert cache.stats.read_misses == 2  # straddles blocks 0 and 1
+
+    def test_zero_length_access_is_noop(self):
+        cache = BufferCache()
+        cache.access(file_id=1, offset=0, length=0, write=True)
+        assert cache.stats.accesses == 0
+
+    def test_lru_eviction_order(self):
+        cache = BufferCache(capacity_bytes=2 * 4096)
+        cache.access(1, 0, 1, write=False)      # file 1 block 0
+        cache.access(2, 0, 1, write=False)      # file 2 block 0
+        cache.access(1, 0, 1, write=False)      # touch file 1 again
+        cache.access(3, 0, 1, write=False)      # evicts file 2 (LRU)
+        cache.access(1, 0, 1, write=False)
+        assert cache.stats.read_hits == 2  # file1 touch + file1 at the end
+
+    def test_dirty_eviction_costs_writeback(self):
+        cache = BufferCache(capacity_bytes=4096)
+        cache.access(1, 0, 1, write=True)
+        cache.access(2, 0, 1, write=False)  # evicts the dirty block
+        assert cache.stats.writebacks == 1
+
+    def test_sync_writes_dirty_blocks_once(self):
+        cache = BufferCache(capacity_bytes=16 * 4096)
+        cache.access(1, 0, 4096 * 3, write=True)
+        assert cache.sync() == 3
+        assert cache.sync() == 0
+
+    def test_invalidate_discards_dirty_without_writeback(self):
+        cache = BufferCache(capacity_bytes=16 * 4096)
+        cache.access(1, 0, 4096 * 2, write=True)
+        cache.invalidate_file(1)
+        assert cache.stats.invalidations == 2
+        assert cache.stats.writebacks == 0
+        assert len(cache) == 0
+
+    def test_invalidate_from_block(self):
+        cache = BufferCache(capacity_bytes=16 * 4096)
+        cache.access(1, 0, 4096 * 3, write=True)
+        cache.invalidate_file(1, from_block=2)
+        assert len(cache) == 2
+
+    def test_miss_ratio_definition(self):
+        cache = BufferCache(capacity_bytes=16 * 4096)
+        cache.access(1, 0, 4096, write=False)   # miss
+        cache.access(1, 0, 4096, write=False)   # hit
+        cache.sync()
+        assert cache.stats.miss_ratio == pytest.approx(0.5)
+
+    def test_too_small_cache_rejected(self):
+        with pytest.raises(EINVAL):
+            BufferCache(capacity_bytes=100, block_size=4096)
+
+
+class TestInodeCache:
+    def test_miss_then_hit(self):
+        cache = InodeCache(capacity=4)
+        assert cache.touch(1) is False
+        assert cache.touch(1) is True
+        assert cache.counters.hit_ratio == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = InodeCache(capacity=2)
+        cache.touch(1)
+        cache.touch(2)
+        cache.touch(1)   # 2 is now LRU
+        cache.touch(3)   # evicts 2
+        assert cache.touch(2) is False
+
+    def test_invalidate(self):
+        cache = InodeCache(capacity=4)
+        cache.touch(1)
+        cache.invalidate(1)
+        assert cache.touch(1) is False
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(EINVAL):
+            InodeCache(capacity=0)
+
+
+class TestDnlc:
+    def test_lookup_miss_then_hit(self):
+        dnlc = Dnlc(capacity=8)
+        assert dnlc.lookup(2, "passwd") is None
+        dnlc.enter(2, "passwd", 17)
+        assert dnlc.lookup(2, "passwd") == 17
+        assert dnlc.counters.hits == 1
+        assert dnlc.counters.misses == 1
+
+    def test_capacity_eviction(self):
+        dnlc = Dnlc(capacity=2)
+        dnlc.enter(1, "a", 1)
+        dnlc.enter(1, "b", 2)
+        dnlc.lookup(1, "a")          # "b" is now LRU
+        dnlc.enter(1, "c", 3)        # evicts "b"
+        assert dnlc.lookup(1, "b") is None
+        assert dnlc.lookup(1, "a") == 1
+
+    def test_remove(self):
+        dnlc = Dnlc()
+        dnlc.enter(1, "x", 5)
+        dnlc.remove(1, "x")
+        assert dnlc.lookup(1, "x") is None
+
+    def test_purge_inum(self):
+        dnlc = Dnlc()
+        dnlc.enter(1, "x", 5)
+        dnlc.enter(2, "y", 5)
+        dnlc.enter(1, "z", 6)
+        dnlc.purge_inum(5)
+        assert dnlc.lookup(1, "x") is None
+        assert dnlc.lookup(2, "y") is None
+        assert dnlc.lookup(1, "z") == 6

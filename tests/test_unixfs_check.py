@@ -1,0 +1,132 @@
+"""Tests for the fsck-style consistency checker and link/dup syscalls."""
+
+import pytest
+
+from repro.trace.records import AccessMode
+from repro.unixfs.check import fsck
+from repro.unixfs.errors import EBADF, EEXIST, EISDIR
+from repro.workload.generator import generate
+from repro.workload.profiles import UCBARPA
+
+
+class TestLink:
+    def test_link_shares_data(self, fs):
+        fd = fs.creat("/a")
+        fs.write(fd, b"shared")
+        fs.close(fd)
+        fs.link("/a", "/b")
+        assert fs.stat("/b").size == 6
+        assert fs.stat("/a").inum == fs.stat("/b").inum
+        assert fs.stat("/a").nlink == 2
+
+    def test_data_survives_until_last_unlink(self, fs):
+        fd = fs.creat("/a")
+        fs.write(fd, b"x" * 100)
+        fs.close(fd)
+        fs.link("/a", "/b")
+        fs.unlink("/a")
+        assert fs.stat("/b").size == 100
+        assert fs.stat("/b").nlink == 1
+        fs.unlink("/b")
+        assert fs.allocated_bytes() == 0
+
+    def test_link_to_existing_name_fails(self, fs):
+        for name in ("/a", "/b"):
+            fd = fs.creat(name)
+            fs.close(fd)
+        with pytest.raises(EEXIST):
+            fs.link("/a", "/b")
+
+    def test_link_directory_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(EISDIR):
+            fs.link("/d", "/d2")
+
+
+class TestDup:
+    def test_dup_shares_offset(self, fs):
+        fd = fs.creat("/f")
+        fs.write(fd, b"0123456789")
+        fd2 = fs.dup(fd)
+        fs.lseek(fd, 4)
+        assert fs.fds.get(fd2).offset == 4  # same open-file entry
+        fs.close(fd)
+        fs.write(fd2, b"ab")  # still usable through the duplicate
+        fs.close(fd2)
+        assert fs.stat("/f").size == 10
+
+    def test_close_traced_once_for_dup_pair(self, traced_fs):
+        fs, tracer = traced_fs
+        fd = fs.open("/f", AccessMode.WRITE, create=True)
+        fd2 = fs.dup(fd)
+        fs.write(fd, 100)
+        fs.close(fd)
+        fs.close(fd2)
+        assert tracer.log.count("open") == 1
+        assert tracer.log.count("close") == 1
+        assert tracer.log.of_kind("close")[0].final_pos == 100
+
+    def test_dup_of_closed_fd_fails(self, fs):
+        fd = fs.creat("/f")
+        fs.close(fd)
+        with pytest.raises(EBADF):
+            fs.dup(fd)
+
+
+class TestFsck:
+    def test_clean_small_fs(self, fs):
+        fs.makedirs("/a/b")
+        fd = fs.creat("/a/b/f")
+        fs.write(fd, b"x" * 5000)
+        fs.close(fd)
+        report = fsck(fs)
+        assert report.ok, report.problems
+        assert report.regular_files == 1
+        assert report.directories == 3  # root, a, b
+
+    def test_clean_with_hard_links(self, fs):
+        fd = fs.creat("/a")
+        fs.write(fd, b"x" * 100)
+        fs.close(fd)
+        fs.link("/a", "/b")
+        assert fsck(fs).ok
+
+    def test_clean_with_unlinked_open_file(self, fs):
+        fd = fs.creat("/a")
+        fs.write(fd, b"x" * 100)
+        fs.unlink("/a")
+        report = fsck(fs)
+        assert report.ok, report.problems
+        fs.close(fd)
+        assert fsck(fs).ok
+
+    def test_detects_wrong_nlink(self, fs):
+        fd = fs.creat("/a")
+        fs.close(fd)
+        fs.inodes.get(fs.stat("/a").inum).nlink = 5  # corrupt it
+        report = fsck(fs)
+        assert not report.ok
+        assert any("nlink" in p for p in report.problems)
+
+    def test_detects_dangling_entry(self, fs):
+        fs.mkdir("/d")
+        fs.inodes.get(fs.stat("/d").inum).entries["ghost"] = 9999
+        report = fsck(fs)
+        assert any("dangling" in p for p in report.problems)
+
+    def test_detects_size_extent_mismatch(self, fs):
+        fd = fs.creat("/a")
+        fs.write(fd, b"x" * 5000)
+        fs.close(fd)
+        fs.inodes.get(fs.stat("/a").inum).size = 123456  # corrupt size
+        report = fsck(fs)
+        assert any("allocated" in p for p in report.problems)
+
+    def test_clean_after_generated_workload(self):
+        result = generate(UCBARPA, seed=13, duration=900.0)
+        report = fsck(result.fs)
+        assert report.ok, report.problems
+        assert report.regular_files > 100
+
+    def test_str_mentions_counts(self, fs):
+        assert "inodes" in str(fsck(fs))

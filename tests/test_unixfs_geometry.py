@@ -1,0 +1,77 @@
+"""Tests for repro.unixfs.geometry."""
+
+import pytest
+
+from repro.unixfs.errors import EINVAL
+from repro.unixfs.geometry import DEFAULT_GEOMETRY, Geometry
+
+
+class TestValidation:
+    def test_default_is_4k_blocks_1k_frags(self):
+        assert DEFAULT_GEOMETRY.block_size == 4096
+        assert DEFAULT_GEOMETRY.frag_size == 1024
+        assert DEFAULT_GEOMETRY.frags_per_block == 4
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(EINVAL):
+            Geometry(block_size=3000)
+
+    def test_non_power_of_two_frag_rejected(self):
+        with pytest.raises(EINVAL):
+            Geometry(frag_size=700)
+
+    def test_frag_larger_than_block_rejected(self):
+        with pytest.raises(EINVAL):
+            Geometry(block_size=1024, frag_size=4096)
+
+    def test_more_than_eight_frags_rejected(self):
+        with pytest.raises(EINVAL):
+            Geometry(block_size=8192, frag_size=512)
+
+    def test_device_must_be_whole_blocks(self):
+        with pytest.raises(EINVAL):
+            Geometry(total_bytes=4096 * 10 + 1)
+
+    def test_frag_equal_to_block_allowed(self):
+        g = Geometry(block_size=4096, frag_size=4096)
+        assert g.frags_per_block == 1
+
+
+class TestAllocationFor:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (0, (0, 0)),
+            (1, (0, 1)),
+            (1024, (0, 1)),
+            (1025, (0, 2)),
+            (3072, (0, 3)),
+            (3073, (1, 0)),  # 4 frags round up to a full block
+            (4096, (1, 0)),
+            (4097, (1, 1)),
+            (8192, (2, 0)),
+            (10_000, (2, 2)),
+        ],
+    )
+    def test_block_frag_split(self, size, expected):
+        assert DEFAULT_GEOMETRY.allocation_for(size) == expected
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(EINVAL):
+            DEFAULT_GEOMETRY.allocation_for(-1)
+
+    def test_allocated_bytes_never_less_than_size(self):
+        for size in (0, 1, 511, 1024, 5000, 4096 * 3 + 1):
+            assert DEFAULT_GEOMETRY.allocated_bytes(size) >= size
+
+    def test_allocated_bytes_waste_bounded_by_frag(self):
+        for size in (1, 511, 1025, 5000, 9999):
+            waste = DEFAULT_GEOMETRY.allocated_bytes(size) - size
+            assert waste < DEFAULT_GEOMETRY.frag_size
+
+    def test_blocks_and_frags_helpers(self):
+        g = DEFAULT_GEOMETRY
+        assert g.blocks_for(4097) == 2
+        assert g.frags_for(1025) == 2
+        assert g.total_blocks * g.block_size == g.total_bytes
+        assert g.total_frags == g.total_blocks * g.frags_per_block

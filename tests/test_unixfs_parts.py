@@ -1,0 +1,170 @@
+"""Unit tests for substrate pieces covered only indirectly elsewhere:
+content stores, the name resolver, inode table and tracer details."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.trace.records import AccessMode
+from repro.unixfs.content import MemoryContentStore, NullContentStore
+from repro.unixfs.errors import EINVAL, ENOENT, ENOTDIR
+from repro.unixfs.filesystem import FileSystem
+from repro.unixfs.inode import FileType, InodeTable
+from repro.unixfs.namei import parent_path, split_path
+from repro.unixfs.tracer import KernelTracer, NullTracer
+
+
+class TestNullContentStore:
+    def test_read_returns_zeros_up_to_size(self):
+        store = NullContentStore()
+        assert store.read(1, 0, 10, file_size=4) == b"\x00" * 4
+
+    def test_read_past_eof_empty(self):
+        store = NullContentStore()
+        assert store.read(1, 100, 10, file_size=50) == b""
+
+    def test_write_and_remove_are_noops(self):
+        store = NullContentStore()
+        store.write(1, 0, b"data")
+        store.truncate(1, 0)
+        store.remove(1)
+        assert store.read(1, 0, 4, file_size=0) == b""
+
+
+class TestMemoryContentStore:
+    def test_write_read_round_trip(self):
+        store = MemoryContentStore()
+        store.write(5, 0, b"hello")
+        assert store.read(5, 0, 5, file_size=5) == b"hello"
+
+    def test_sparse_write_zero_fills(self):
+        store = MemoryContentStore()
+        store.write(5, 10, b"x")
+        assert store.read(5, 0, 11, file_size=11) == b"\x00" * 10 + b"x"
+
+    def test_overwrite_in_place(self):
+        store = MemoryContentStore()
+        store.write(5, 0, b"abcdef")
+        store.write(5, 2, b"XY")
+        assert store.read(5, 0, 6, file_size=6) == b"abXYef"
+
+    def test_truncate_discards_tail(self):
+        store = MemoryContentStore()
+        store.write(5, 0, b"abcdef")
+        store.truncate(5, 3)
+        assert store.read(5, 0, 6, file_size=3) == b"abc"
+
+    def test_read_beyond_written_but_within_size_zero_fills(self):
+        store = MemoryContentStore()
+        store.write(5, 0, b"ab")
+        # File logically extended to 6 (e.g. by a sparse size bump).
+        assert store.read(5, 0, 6, file_size=6) == b"ab\x00\x00\x00\x00"
+
+    def test_remove_frees_bytes(self):
+        store = MemoryContentStore()
+        store.write(5, 0, b"abc")
+        assert store.bytes_held() == 3
+        store.remove(5)
+        assert store.bytes_held() == 0
+
+
+class TestPathParsing:
+    def test_split_path(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/") == []
+        assert split_path("/a//b/") == ["a", "b"]
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(EINVAL):
+            split_path("a/b")
+        with pytest.raises(EINVAL):
+            split_path("")
+
+    def test_dot_components_rejected(self):
+        with pytest.raises(EINVAL):
+            split_path("/a/./b")
+        with pytest.raises(EINVAL):
+            split_path("/a/../b")
+
+    def test_parent_path(self):
+        assert parent_path("/a/b/c") == ("/a/b", "c")
+        assert parent_path("/top") == ("/", "top")
+        with pytest.raises(EINVAL):
+            parent_path("/")
+
+
+class TestResolver:
+    def test_resolve_root(self, fs):
+        assert fs.resolver.resolve("/").inum == fs.root_inum
+
+    def test_missing_component_raises_enoent(self, fs):
+        with pytest.raises(ENOENT):
+            fs.resolver.resolve("/missing/x")
+
+    def test_file_as_directory_raises_enotdir(self, fs):
+        fd = fs.creat("/f")
+        fs.close(fd)
+        with pytest.raises(ENOTDIR):
+            fs.resolver.resolve("/f/deeper")
+
+    def test_directory_reads_counted_on_misses(self, fs):
+        fs.makedirs("/x/y")
+        before = fs.resolver.directory_reads
+        fs.resolver.dnlc._lru.clear()  # force cold lookups
+        fs.resolver.resolve("/x/y")
+        assert fs.resolver.directory_reads == before + 2
+
+
+class TestInodeTable:
+    def test_inums_and_file_ids_unique(self):
+        table = InodeTable()
+        inodes = [table.allocate(FileType.REGULAR, uid=0, now=0.0) for _ in range(10)]
+        assert len({i.inum for i in inodes}) == 10
+        assert len({i.file_id for i in inodes}) == 10
+
+    def test_free_then_get_raises(self):
+        table = InodeTable()
+        inode = table.allocate(FileType.REGULAR, uid=0, now=0.0)
+        table.free(inode.inum)
+        with pytest.raises(ENOENT):
+            table.get(inode.inum)
+
+    def test_double_free_rejected(self):
+        table = InodeTable()
+        inode = table.allocate(FileType.REGULAR, uid=0, now=0.0)
+        table.free(inode.inum)
+        with pytest.raises(EINVAL):
+            table.free(inode.inum)
+
+    def test_contains_and_len(self):
+        table = InodeTable()
+        inode = table.allocate(FileType.DIRECTORY, uid=0, now=0.0)
+        assert inode.inum in table
+        assert len(table) == 1
+
+
+class TestTracer:
+    def test_null_tracer_records_nothing(self, clock):
+        fs = FileSystem(clock=clock, tracer=NullTracer())
+        fd = fs.creat("/f")
+        fs.write(fd, 100)
+        fs.close(fd)  # nothing observable; just must not crash
+
+    def test_kernel_tracer_open_ids_monotone(self, clock):
+        tracer = KernelTracer()
+        fs = FileSystem(clock=clock, tracer=tracer)
+        fds = [fs.open(f"/f{i}", AccessMode.WRITE, create=True) for i in range(3)]
+        for fd in fds:
+            fs.close(fd)
+        opens = tracer.log.of_kind("open")
+        ids = [e.open_id for e in opens]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 3
+
+    def test_time_never_decreases_even_if_quantization_rounds_up(self):
+        tracer = KernelTracer()
+        # 0.014 quantizes to 0.01; a later call at 0.016 quantizes to 0.02.
+        tracer.on_unlink(0.014, file_id=1)
+        tracer.on_unlink(0.0149, file_id=2)  # also 0.01: equal is fine
+        tracer.on_unlink(0.016, file_id=3)
+        times = [e.time for e in tracer.log]
+        assert times == sorted(times)

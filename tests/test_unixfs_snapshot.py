@@ -1,0 +1,65 @@
+"""Tests for namespace snapshots."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.unixfs.check import fsck
+from repro.unixfs.filesystem import FileSystem
+from repro.unixfs.snapshot import dict_to_tree, load_tree, save_tree, tree_to_dict
+
+
+def _populated(clock=None):
+    fs = FileSystem(clock=clock or Clock())
+    fs.makedirs("/usr/u1")
+    fs.makedirs("/tmp")
+    for path, size, uid in (("/usr/u1/a.c", 5000, 1), ("/usr/u1/b", 0, 1),
+                            ("/tmp/big", 2_000_000, 2)):
+        fd = fs.creat(path, uid=uid)
+        if size:
+            fs.write(fd, size)
+        fs.close(fd)
+    return fs
+
+
+class TestRoundTrip:
+    def test_snapshot_restores_paths_sizes_uids(self):
+        original = _populated()
+        data = tree_to_dict(original)
+        restored = FileSystem(clock=Clock())
+        count = dict_to_tree(restored, data)
+        assert count == 3
+        assert restored.stat("/usr/u1/a.c").size == 5000
+        assert restored.stat("/usr/u1/a.c").uid == 1
+        assert restored.stat("/tmp/big").size == 2_000_000
+        assert restored.stat("/usr/u1/b").size == 0
+        assert restored.listdir("/") == original.listdir("/")
+
+    def test_restored_fs_is_consistent(self):
+        restored = FileSystem(clock=Clock())
+        dict_to_tree(restored, tree_to_dict(_populated()))
+        assert fsck(restored).ok
+
+    def test_file_round_trip(self, tmp_path):
+        original = _populated()
+        path = tmp_path / "tree.json"
+        save_tree(original, str(path))
+        restored = FileSystem(clock=Clock())
+        assert load_tree(restored, str(path)) == 3
+        assert restored.logical_bytes() == original.logical_bytes()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="snapshot"):
+            dict_to_tree(FileSystem(clock=Clock()), {"format": "nope"})
+
+    def test_snapshot_of_generated_namespace(self):
+        import random
+
+        from repro.workload.namespace import NamespaceConfig, build_namespace
+
+        fs = FileSystem(clock=Clock())
+        build_namespace(fs, NamespaceConfig(n_users=2), random.Random(1))
+        data = tree_to_dict(fs)
+        restored = FileSystem(clock=Clock())
+        dict_to_tree(restored, data)
+        assert restored.logical_bytes() == fs.logical_bytes()
+        assert fsck(restored).ok

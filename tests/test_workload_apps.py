@@ -1,0 +1,186 @@
+"""Tests for the application models: each activity must run cleanly and
+leave the access shape it claims (whole-file, append, scattered, ...)."""
+
+import random
+
+import pytest
+
+from repro.analysis.accesses import reconstruct_accesses
+from repro.clock import Clock
+from repro.trace.records import AccessMode
+from repro.trace.validate import validate
+from repro.unixfs.filesystem import FileSystem
+from repro.unixfs.geometry import Geometry
+from repro.unixfs.tracer import KernelTracer
+from repro.workload.apps import ACTIVITIES
+from repro.workload.apps.base import (
+    AppContext,
+    append_file,
+    read_at,
+    read_prefix,
+    read_scattered,
+    read_whole,
+    update_in_place,
+    write_whole,
+)
+from repro.workload.apps.statusdaemon import status_daemon
+from repro.workload.engine import Engine
+from repro.workload.namespace import NamespaceConfig, build_namespace
+
+
+@pytest.fixture
+def world():
+    """A small populated world: (fs, tracer, ctx, engine, clock)."""
+    clock = Clock()
+    fs = FileSystem(
+        clock=clock, geometry=Geometry(total_bytes=256 * 1024 * 1024)
+    )
+    rng = random.Random(11)
+    ns = build_namespace(fs, NamespaceConfig(n_users=3), rng)
+    tracer = KernelTracer(name="apps")
+    fs.tracer = tracer
+    ctx = AppContext(fs=fs, ns=ns, rng=rng, uid=1, clock=clock)
+    return fs, tracer, ctx, Engine(clock), clock
+
+
+def run_activity(world, gen):
+    _fs, tracer, _ctx, engine, _clock = world
+    engine.spawn(gen)
+    engine.run(until=100_000.0)
+    return tracer.log
+
+
+class TestHelpers:
+    def test_read_whole_is_whole_file(self, world):
+        fs, tracer, ctx, engine, _ = world
+        log = run_activity(world, read_whole(ctx, ctx.ns.headers[0]))
+        (access,) = reconstruct_accesses(log)
+        assert access.whole_file
+        assert access.mode is AccessMode.READ
+
+    def test_write_whole_is_whole_file_write(self, world):
+        _fs, _tracer, ctx, _engine, _ = world
+        log = run_activity(world, write_whole(ctx, "/tmp/out", 9000))
+        (access,) = reconstruct_accesses(log)
+        assert access.whole_file
+        assert access.created
+        assert access.bytes_transferred == 9000
+
+    def test_append_is_sequential_with_one_seek(self, world):
+        _fs, _tracer, ctx, _engine, _ = world
+        log = run_activity(world, append_file(ctx, ctx.ns.mailboxes[2], 500))
+        (access,) = reconstruct_accesses(log)
+        assert access.sequential
+        assert not access.whole_file
+        assert access.seeks == 1
+        assert access.bytes_transferred == 500
+
+    def test_read_at_is_seek_then_sequential(self, world):
+        _fs, _tracer, ctx, _engine, _ = world
+        log = run_activity(
+            world, read_at(ctx, ctx.ns.admin_files[0], 100_000, 2048)
+        )
+        (access,) = reconstruct_accesses(log)
+        assert access.sequential
+        assert access.seeks == 1
+        assert access.bytes_transferred == 2048
+
+    def test_read_prefix_stops_on_chunk_boundary(self, world):
+        _fs, _tracer, ctx, _engine, _ = world
+        log = run_activity(world, read_prefix(ctx, ctx.ns.admin_files[0], 5000))
+        (access,) = reconstruct_accesses(log)
+        assert access.bytes_transferred == 8192  # rounded up to 2 chunks
+        assert access.sequential
+
+    def test_read_scattered_is_non_sequential(self, world):
+        _fs, _tracer, ctx, _engine, _ = world
+        log = run_activity(
+            world, read_scattered(ctx, ctx.ns.libraries[0], picks=4)
+        )
+        (access,) = reconstruct_accesses(log)
+        assert access.seeks >= 3
+        assert not access.sequential or len(access.runs) <= 1
+
+    def test_update_in_place_is_read_write(self, world):
+        _fs, _tracer, ctx, _engine, _ = world
+        log = run_activity(
+            world, update_in_place(ctx, ctx.ns.admin_files[0], touches=3)
+        )
+        (access,) = reconstruct_accesses(log)
+        assert access.mode is AccessMode.READ_WRITE
+        assert not access.sequential
+
+
+class TestActivities:
+    @pytest.mark.parametrize("name", sorted(ACTIVITIES))
+    def test_activity_runs_and_trace_validates(self, world, name):
+        _fs, tracer, ctx, engine, _ = world
+        engine.spawn(ACTIVITIES[name](ctx))
+        engine.run(until=100_000.0)
+        report = validate(tracer.log)
+        assert report.ok, report.problems
+        assert report.unmatched_opens == 0
+
+    def test_compile_deletes_its_assembler_temp(self, world):
+        fs, tracer, ctx, engine, _ = world
+        engine.spawn(ACTIVITIES["compile"](ctx))
+        engine.run(until=100_000.0)
+        assert tracer.log.count("unlink") >= 1
+        assert not [p for p in fs.listdir("/tmp") if p.startswith("ctm")]
+
+    def test_compile_execs_compiler_passes(self, world):
+        _fs, tracer, ctx, engine, _ = world
+        engine.spawn(ACTIVITIES["compile"](ctx))
+        engine.run(until=100_000.0)
+        assert tracer.log.count("exec") >= 2
+
+    def test_edit_session_leaves_no_scratch(self, world):
+        fs, _tracer, ctx, engine, _ = world
+        engine.spawn(ACTIVITIES["edit"](ctx))
+        engine.run(until=100_000.0)
+        assert not [p for p in fs.listdir("/tmp") if p.startswith("Ex")]
+
+    def test_edit_session_closed_cleanly_at_horizon(self, world):
+        # Kill the session mid-edit: the finally block must close and
+        # remove the scratch file.
+        fs, tracer, ctx, engine, _ = world
+        engine.spawn(ACTIVITIES["edit"](ctx))
+        engine.run(until=0.5)  # way before the session finishes
+        assert validate(tracer.log).unmatched_opens == 0
+
+    def test_status_daemon_rewrites_every_host_file(self, world):
+        _fs, tracer, ctx, engine, _ = world
+        engine.spawn(status_daemon(ctx, period=180.0))
+        engine.run(until=200.0)
+        opens = [e for e in tracer.log.of_kind("open") if e.created]
+        assert len(opens) >= len(ctx.ns.status_files)
+
+    def test_status_daemon_lifetimes_cluster_at_period(self, world):
+        from repro.analysis.lifetimes import collect_lifetimes
+
+        _fs, tracer, ctx, engine, _ = world
+        engine.spawn(status_daemon(ctx, period=180.0))
+        engine.run(until=800.0)
+        lifetimes = [
+            lt.lifetime
+            for lt in collect_lifetimes(tracer.log)
+            if lt.lifetime is not None
+        ]
+        assert lifetimes
+        in_band = sum(1 for lt in lifetimes if 178.0 <= lt <= 182.0)
+        assert in_band / len(lifetimes) > 0.9
+
+    def test_print_file_spool_cycle(self, world):
+        fs, tracer, ctx, engine, _ = world
+        engine.spawn(ACTIVITIES["print"](ctx))
+        engine.run(until=100_000.0)
+        assert fs.listdir("/usr/spool/lpd") == []
+        assert tracer.log.count("unlink") == 1
+
+    def test_read_mail_may_truncate(self, world):
+        # With enough repetitions the 15% truncate branch fires.
+        _fs, tracer, ctx, engine, _ = world
+        for _ in range(40):
+            engine.spawn(ACTIVITIES["read_mail"](ctx))
+        engine.run(until=1_000_000.0)
+        assert tracer.log.count("trunc") >= 1

@@ -1,0 +1,61 @@
+"""Tests for the diurnal (day/night) load modulation."""
+
+import dataclasses
+
+import pytest
+
+from repro.workload.distributions import DiurnalPattern
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import UCBARPA
+
+
+class TestPattern:
+    def test_peak_multiplier_is_one(self):
+        pattern = DiurnalPattern(peak_hour=15.0, night_slowdown=8.0)
+        assert pattern.think_multiplier(15 * 3600.0) == pytest.approx(1.0)
+
+    def test_trough_multiplier_is_slowdown(self):
+        pattern = DiurnalPattern(peak_hour=15.0, night_slowdown=8.0)
+        assert pattern.think_multiplier(3 * 3600.0) == pytest.approx(8.0)
+
+    def test_multiplier_bounded_everywhere(self):
+        pattern = DiurnalPattern(night_slowdown=5.0)
+        for hour in range(0, 48):
+            m = pattern.think_multiplier(hour * 3600.0)
+            assert 1.0 <= m <= 5.0
+
+    def test_periodicity(self):
+        pattern = DiurnalPattern()
+        assert pattern.think_multiplier(7 * 3600.0) == pytest.approx(
+            pattern.think_multiplier((7 + 24) * 3600.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(night_slowdown=0.5)
+        with pytest.raises(ValueError):
+            DiurnalPattern(day_seconds=0)
+
+
+class TestGeneratedRhythm:
+    def test_daytime_busier_than_night(self):
+        profile = dataclasses.replace(
+            UCBARPA,
+            n_users=12,
+            namespace=None,
+            diurnal=DiurnalPattern(peak_hour=15.0, night_slowdown=8.0),
+        )
+        log = generate_trace(profile, seed=5, duration=24 * 3600.0)
+        afternoon = len(log.slice(13 * 3600.0, 17 * 3600.0).events)
+        night = len(log.slice(1 * 3600.0, 5 * 3600.0).events)
+        assert afternoon > 1.6 * night
+
+    def test_flat_without_pattern(self):
+        log = generate_trace(
+            dataclasses.replace(UCBARPA, n_users=12, namespace=None),
+            seed=5,
+            duration=8 * 3600.0,
+        )
+        first = len(log.slice(0, 4 * 3600.0).events)
+        second = len(log.slice(4 * 3600.0, 8 * 3600.0).events)
+        assert 0.6 < first / second < 1.6

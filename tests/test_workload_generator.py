@@ -1,0 +1,143 @@
+"""Tests for namespace building, profiles and the trace generator."""
+
+import random
+
+import pytest
+
+from repro.clock import Clock
+from repro.trace.records import OpenEvent
+from repro.trace.validate import validate
+from repro.unixfs.filesystem import FileSystem
+from repro.unixfs.geometry import Geometry
+from repro.workload.distributions import BurstyThinkTime
+from repro.workload.generator import generate, generate_trace
+from repro.workload.namespace import NamespaceConfig, build_namespace
+from repro.workload.profiles import PROFILES, UCBARPA, UCBCAD, UCBERNIE, MachineProfile
+
+
+@pytest.fixture
+def built():
+    fs = FileSystem(
+        clock=Clock(), geometry=Geometry(total_bytes=256 * 1024 * 1024)
+    )
+    ns = build_namespace(fs, NamespaceConfig(n_users=4), random.Random(3))
+    return fs, ns
+
+
+class TestNamespace:
+    def test_all_categories_populated(self, built):
+        _fs, ns = built
+        cfg = ns.config
+        assert len(ns.commands) == cfg.commands
+        assert len(ns.headers) == cfg.headers
+        assert len(ns.libraries) == cfg.libraries
+        assert len(ns.admin_files) == cfg.admin_files
+        assert len(ns.status_files) == cfg.hosts
+        assert set(ns.etc_files) >= {"passwd", "termcap", "motd"}
+        for uid in range(1, 5):
+            assert len(ns.sources[uid]) == cfg.sources_per_user
+            assert len(ns.docs[uid]) == cfg.docs_per_user
+            assert uid in ns.mailboxes
+
+    def test_every_path_exists_on_fs(self, built):
+        fs, ns = built
+        paths = (
+            ns.commands + ns.headers + ns.libraries + ns.admin_files
+            + ns.status_files + list(ns.etc_files.values())
+        )
+        for uid in ns.sources:
+            paths += ns.sources[uid] + ns.docs[uid] + [ns.mailboxes[uid]]
+        for path in paths:
+            assert fs.exists(path), path
+
+    def test_admin_files_are_about_a_megabyte(self, built):
+        fs, ns = built
+        for path in ns.admin_files:
+            assert fs.stat(path).size == 1024 * 1024
+
+    def test_popular_picks_are_skewed(self, built):
+        _fs, ns = built
+        rng = random.Random(0)
+        picks = [ns.pick_command(rng) for _ in range(500)]
+        counts = sorted(
+            (picks.count(c) for c in set(picks)), reverse=True
+        )
+        assert counts[0] > 5 * counts[-1]
+
+    def test_pick_headers_unique(self, built):
+        _fs, ns = built
+        rng = random.Random(0)
+        headers = ns.pick_headers(rng, 8)
+        assert len(headers) == len(set(headers)) == 8
+
+    def test_admin_hotspot_offsets_within_file(self, built):
+        _fs, ns = built
+        rng = random.Random(0)
+        for path in ns.admin_files:
+            for _ in range(50):
+                assert 0 <= ns.pick_admin_offset(rng, path) < 1024 * 1024
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", [UCBARPA, UCBERNIE, UCBCAD],
+                             ids=lambda p: p.name)
+    def test_mix_weights_sum_to_one(self, profile):
+        assert sum(w for _n, w in profile.activity_mix) == pytest.approx(1.0)
+
+    def test_buffer_cache_is_tenth_of_memory(self):
+        assert UCBARPA.buffer_cache_bytes == UCBARPA.memory_bytes // 10
+
+    def test_lookup_by_trace_and_machine_name(self):
+        assert PROFILES["A5"] is PROFILES["ucbarpa"]
+        assert PROFILES["C4"].name == "ucbcad"
+
+    def test_namespace_user_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MachineProfile(
+                name="x", trace_name="X", description="", n_users=5,
+                memory_bytes=1 << 20,
+                activity_mix=(("shell", 1.0),),
+                think=BurstyThinkTime(),
+                namespace=NamespaceConfig(n_users=3),
+            )
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = generate_trace(UCBARPA, seed=5, duration=300.0)
+        b = generate_trace(UCBARPA, seed=5, duration=300.0)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(UCBARPA, seed=5, duration=300.0)
+        b = generate_trace(UCBARPA, seed=6, duration=300.0)
+        assert a.events != b.events
+
+    def test_trace_validates_and_spans_duration(self, small_trace):
+        assert validate(small_trace).ok
+        assert small_trace.end_time <= 1200.0 + 1e-6
+        assert small_trace.duration > 600.0
+
+    def test_trace_name_follows_profile(self, small_trace):
+        assert small_trace.name == "A5"
+
+    def test_setup_traffic_not_in_trace(self, small_trace):
+        # The namespace is built before the tracer attaches, so the first
+        # event should be user activity, not hundreds of creates at t=0.
+        first_creates = [
+            e for e in small_trace.events[:50]
+            if isinstance(e, OpenEvent) and e.new_file
+        ]
+        assert len(first_creates) < 30
+
+    def test_result_carries_system_state(self):
+        result = generate(UCBARPA, seed=1, duration=60.0)
+        assert result.fs.syscall_counts["open"] > 0
+        assert result.engine_resumptions > 0
+        assert result.profile is UCBARPA
+
+    def test_all_three_profiles_generate(self):
+        for profile in (UCBARPA, UCBERNIE, UCBCAD):
+            log = generate_trace(profile, seed=2, duration=120.0)
+            assert validate(log).ok
+            assert len(log) > 0
