@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""From bandwidth shares to end-to-end latency.
+
+``diskless_network_design.py`` answers the paper's network question the
+way the paper could: average network KB/s as a share of a 10 Mbit
+Ethernet.  Averages hide the knee.  This walkthrough re-asks the
+question with the discrete-event service (``repro.netfs``): replay more
+and more A5 communities side by side on one segment and one server,
+and watch *request latency* instead of bandwidth share.
+
+Two sweeps tell the design story:
+
+1. With the period's Fujitsu Eagle behind the server, the server disk
+   saturates long before the wire does — the latency knee is the disk's
+   (the counting example's conclusion, now visible as queueing).
+2. Give the server enough disk arms (a striped array fast enough that
+   the disk stops mattering) and keep scaling: now the knee is the
+   Ethernet's — the point past which a 10 Mbit segment cannot carry more
+   workstations no matter how good the server is.
+
+Run:  python examples/network_latency_design.py
+"""
+
+from repro import UCBARPA, generate_trace
+from repro.disk.model import DiskModel
+from repro.netfs import simulate_netfs
+
+KB = 1024
+
+#: An ahead-of-its-time server: eight Eagles striped, so positioning
+#: overlaps and per-I/O time is an eighth of one arm's.
+STRIPED_ARRAY = DiskModel(
+    name="8-wide Eagle stripe",
+    avg_seek_s=0.018 / 8,
+    rotation_s=(60.0 / 3600.0) / 8,
+    transfer_bytes_per_s=8 * 1.8e6,
+    locality=0.3,
+)
+
+
+def sweep(trace, disk: DiskModel, scales: list[int], label: str, **kwargs) -> None:
+    print(f"{label}:")
+    print(
+        f"  {'clients':>8} {'eth %':>6} {'disk %':>7} {'mean ms':>8} "
+        f"{'p99 ms':>9} {'net p99':>9} {'queue p99':>10}"
+    )
+    for scale in scales:
+        result = simulate_netfs(
+            trace,
+            client_cache_bytes=512 * KB,
+            protocol="ownership",
+            disk=disk,
+            load_scale=scale,
+            **kwargs,
+        )
+        print(
+            f"  {result.clients:>8} {100 * result.ethernet_utilization:>6.1f} "
+            f"{100 * result.disk_utilization:>7.1f} "
+            f"{1e3 * result.request_latency.mean:>8.1f} "
+            f"{1e3 * result.request_latency.p99:>9.1f} "
+            f"{1e3 * result.network_wait.p99:>9.1f} "
+            f"{1e3 * result.server_queue_wait.p99:>10.1f}"
+        )
+    print()
+
+
+def main() -> None:
+    print("Generating twenty simulated minutes of the A5 workload...")
+    trace = generate_trace(UCBARPA, seed=3, duration=1200.0)
+    print(trace.summary_line())
+    print()
+
+    sweep(
+        trace,
+        DiskModel(
+            name="Fujitsu Eagle M2351",
+            avg_seek_s=0.018,
+            rotation_s=60.0 / 3600.0,
+            transfer_bytes_per_s=1.8e6,
+        ),
+        [1, 4, 8, 16],
+        "One Eagle behind the server (the 1985 configuration)",
+    )
+    print(
+        "  The queue p99 column hits the wall first while the Ethernet\n"
+        "  stays cool: the latency knee is disk queueing, confirming\n"
+        "  diskless_network_design's average-rate verdict — and showing\n"
+        "  what it costs in milliseconds.\n"
+    )
+
+    sweep(
+        trace,
+        STRIPED_ARRAY,
+        [1, 8, 32, 64],
+        "Striped server, fast server CPU (disk off the critical path)",
+        server_cpu_s=0.0002,
+        server_queue_limit=256,
+    )
+    print(
+        "  Now the net p99 column is what explodes: past the knee the\n"
+        "  wire's FIFO backlog outruns the RPC timeout and retransmissions\n"
+        "  pile on — congestion collapse on a 10 Mbit segment.  Note the\n"
+        "  knee arrives near ~30% *average* utilization: the paper's\n"
+        "  peak-vs-average gap (Section 4) means bursts saturate the wire\n"
+        "  long before the average does.  The 10 Mbit segment is carrying\n"
+        "  all the workstations it ever will."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,10 @@ The package rebuilds the paper's whole measurement stack:
   5-7, Tables VI-VII);
 * :mod:`repro.strace` — conversion of real ``strace`` logs into the trace
   format;
-* :mod:`repro.experiments` — one reproduction driver per paper exhibit.
+* :mod:`repro.experiments` — one reproduction driver per paper exhibit;
+* :mod:`repro.netfs` — a discrete-event network file service (client
+  caches, shared Ethernet, RPC with retry, server queue + disk, cache
+  consistency) answering the diskless-workstation question in *time*.
 
 Quickstart::
 
@@ -48,6 +51,7 @@ from .cache import (
     simulate_cache,
 )
 from .clock import Clock
+from .netfs import NetfsResult, simulate_netfs
 from .trace import (
     AccessMode,
     TraceLog,
@@ -113,4 +117,7 @@ __all__ = [
     "FLUSH_30S",
     "FLUSH_5MIN",
     "DELAYED_WRITE",
+    # network file service
+    "simulate_netfs",
+    "NetfsResult",
 ]

@@ -135,16 +135,49 @@ class BlockCacheSimulator:
         self._known_size[inval.file_id] = min(known, inval.from_byte)
         if not self.invalidate_on_delete:
             return
-        blocks = self._by_file.get(inval.file_id)
+        self.drop_file(inval.file_id, inval.from_byte)
+
+    # -- external cache control (used by the netfs consistency layer) ----------
+
+    def drop_file(
+        self, file_id: int, from_byte: int = 0, now: float | None = None
+    ) -> None:
+        """Drop cached blocks of *file_id* at or past *from_byte*.
+
+        Unlike an :class:`Invalidation`, this does not shrink the file's
+        known size: a remote invalidation (callback, lease revocation)
+        means our *copy* is stale, not that the data is gone from disk.
+        """
+        if now is not None and now > self._now:
+            self._now = now
+        blocks = self._by_file.get(file_id)
         if not blocks:
             return
-        first_dead = -(-inval.from_byte // self.block_size)
+        first_dead = -(-from_byte // self.block_size)
         doomed = [b for b in blocks if b >= first_dead]
         for block in doomed:
-            entry = self._remove((inval.file_id, block))
+            entry = self._remove((file_id, block))
             self.metrics.invalidated_blocks += 1
             if entry.dirty:
                 self.metrics.dirty_blocks_discarded += 1
+
+    def flush_file(self, file_id: int) -> int:
+        """Write out every dirty block of *file_id*; returns the count.
+
+        The disk writes are billed to :attr:`metrics` exactly as a
+        flush-back scan's are — this is one file's slice of that scan,
+        triggered by an ownership-lease recall.
+        """
+        flushed = 0
+        for block in self._by_file.get(file_id, ()):
+            entry = self._cache[(file_id, block)]
+            if entry.dirty:
+                entry.dirty = False
+                self.metrics.disk_writes += 1
+                flushed += 1
+        if flushed:
+            self._note_dirty(-flushed)
+        return flushed
 
     def _access(self, file_id: int, block: int, write: bool, covered: bool) -> None:
         key = (file_id, block)

@@ -47,6 +47,11 @@ class TwoLevelResult:
     client_metrics: CacheMetrics = field(default_factory=CacheMetrics)
     server_metrics: CacheMetrics = field(default_factory=CacheMetrics)
     duration: float = 0.0
+    #: Consistency control messages.  Always 0 here — this simulation
+    #: broadcasts invalidations for free — but the field exists so
+    #: two-level and netfs results render uniformly; ``repro.netfs``
+    #: is the layer that bills these messages.
+    consistency_messages: int = 0
 
     @property
     def network_blocks(self) -> int:
@@ -66,6 +71,10 @@ class TwoLevelResult:
 
     def render(self) -> str:
         accesses = self.client_metrics.block_accesses
+        if self.duration > 0:
+            rate = f"{self.network_bytes_per_second / 1000:.1f} KB/s average"
+        else:
+            rate = "no duration: rate unavailable"
         return "\n".join(
             [
                 f"{self.clients} client caches of "
@@ -75,10 +84,12 @@ class TwoLevelResult:
                 f"  client level: {accesses:,} block accesses, "
                 f"{self.network_blocks:,} crossed the network "
                 f"({100 * self.network_blocks / max(1, accesses):.1f}%, "
-                f"{self.network_bytes_per_second / 1000:.1f} KB/s average)",
+                f"{rate})",
                 f"  server level: {self.server_metrics.disk_ios:,} disk I/Os "
                 f"({100 * self.server_metrics.disk_ios / max(1, accesses):.1f}% "
                 f"of all block accesses)",
+                f"  consistency messages: {self.consistency_messages:,} "
+                "(invalidations broadcast for free; repro.netfs bills them)",
             ]
         )
 

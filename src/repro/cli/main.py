@@ -71,6 +71,29 @@ _POLICIES = {
 }
 
 
+def _parse_size(text: str) -> int:
+    """Parse ``512K`` / ``16M`` / ``4096`` into bytes."""
+    text = text.strip()
+    multiplier = 1
+    if text and text[-1] in "kKmMgG":
+        multiplier = {"k": 1024, "m": 1024**2, "g": 1024**3}[text[-1].lower()]
+        text = text[:-1]
+    try:
+        return int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}") from None
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad count {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _load_trace(path: str) -> TraceLog:
     if path.endswith(".btrace"):
         return read_binary(path)
@@ -187,6 +210,31 @@ def _cmd_twolevel(args: argparse.Namespace) -> int:
         client_policy=_POLICIES[args.client_policy],
     )
     print(result.render())
+    return 0
+
+
+def _cmd_netfs(args: argparse.Namespace) -> int:
+    from ..netfs import simulate_netfs
+
+    if args.trace:
+        log = _load_trace(args.trace)
+    else:
+        profile = PROFILES[args.profile]
+        result = generate(profile, seed=args.seed, duration=args.hours * 3600.0)
+        log = result.trace
+        print(log.summary_line())
+    outcome = simulate_netfs(
+        log,
+        clients=args.clients,
+        client_cache_bytes=args.client_cache,
+        server_cache_bytes=args.server_cache,
+        block_size=args.block_size,
+        protocol=args.protocol,
+        server_queue_limit=args.queue_limit,
+        load_scale=args.load_scale,
+        seed=args.seed,
+    )
+    print(outcome.render())
     return 0
 
 
@@ -349,6 +397,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--client-policy", choices=sorted(_POLICIES),
                    default="write-through")
     p.set_defaults(func=_cmd_twolevel)
+
+    p = sub.add_parser(
+        "netfs",
+        help="discrete-event network file service simulation "
+        "(clients + Ethernet + RPC + server queue + consistency)",
+    )
+    p.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace file (omitted: generate one from --profile)",
+    )
+    p.add_argument("--profile", choices=sorted(PROFILES), default="A5")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--clients", type=_positive_int, default=None,
+                   help="workstations to fold users onto (default: one per user)")
+    p.add_argument("--client-cache", type=_parse_size, default="512K",
+                   help="per-workstation cache (e.g. 512K, 2M)")
+    p.add_argument("--server-cache", type=_parse_size, default="16M")
+    p.add_argument("--block-size", type=int, default=4096)
+    p.add_argument("--protocol", choices=["callbacks", "ownership"],
+                   default="callbacks")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="server request-queue bound")
+    p.add_argument("--load-scale", type=_positive_int, default=1,
+                   help="replay N disjoint copies of the trace in parallel")
+    p.set_defaults(func=_cmd_netfs)
 
     p = sub.add_parser(
         "export-figures", help="write Figures 1-4 curves as CSV files"

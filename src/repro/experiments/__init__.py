@@ -15,6 +15,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     fig7,
     intervals,
     metadata,
+    netfs,
     residency,
     table1,
     table3,

@@ -1,0 +1,54 @@
+"""repro.netfs — a discrete-event network file service simulator.
+
+The counting layers (:mod:`repro.cache.twolevel`) answer the paper's
+diskless-workstation question in blocks; this package answers it in
+seconds: per-workstation client caches in front of an RPC layer, a
+shared 10 Mbit Ethernet with FIFO contention, a file server with a
+bounded request queue and a :class:`repro.disk.DiskModel` behind its
+cache, and two pluggable cache-consistency protocols
+(write-through-with-callbacks and Sprite-style ownership leases) whose
+control messages are billed on the wire.
+
+Entry point::
+
+    from repro.netfs import simulate_netfs
+
+    result = simulate_netfs(trace, clients=8, protocol="ownership")
+    print(result.render())
+"""
+
+from .client import Workstation
+from .consistency import (
+    PROTOCOLS,
+    ConsistencyProtocol,
+    OwnershipLeases,
+    WriteThroughCallbacks,
+)
+from .events import EventHandle, EventLoop
+from .metrics import LatencySampler, LatencySummary, NetfsResult, QueueTracker
+from .network import TEN_MBIT, Ethernet, EthernetModel
+from .rpc import Rpc, RpcConfig, RpcLayer
+from .server import FileServer
+from .simulator import simulate_netfs
+
+__all__ = [
+    "EventLoop",
+    "EventHandle",
+    "Ethernet",
+    "EthernetModel",
+    "TEN_MBIT",
+    "Rpc",
+    "RpcConfig",
+    "RpcLayer",
+    "FileServer",
+    "Workstation",
+    "ConsistencyProtocol",
+    "WriteThroughCallbacks",
+    "OwnershipLeases",
+    "PROTOCOLS",
+    "LatencySampler",
+    "LatencySummary",
+    "QueueTracker",
+    "NetfsResult",
+    "simulate_netfs",
+]

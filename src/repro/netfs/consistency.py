@@ -1,0 +1,172 @@
+"""Cache-consistency protocols for the network file service.
+
+The paper explicitly punted ("we did not consider the problems of cache
+consistency"), and `repro.cache.twolevel` inherited the punt: it
+broadcasts invalidations to every client cache for free.  Here the
+messages are real — each control message is a minimum-size frame on the
+shared Ethernet — and two protocols from the paper's direct descendants
+are pluggable:
+
+* **write-through-with-callbacks** — clients write through to the
+  server, which tracks who caches each file and sends a callback
+  (invalidation) to every other cacher on each write.  This is what
+  ``twolevel``'s free broadcast silently assumed, now with its traffic
+  billed.  (AFS-style callbacks over NFS-style write-through.)
+* **ownership** — Sprite-flavoured invalidate leases: the server grants
+  a client *write ownership* of a file; the owner writes locally
+  (delayed-write) with no per-write traffic.  When another client
+  accesses the file the server recalls the lease — the owner flushes its
+  dirty blocks back and the copies of concurrent readers are
+  invalidated.  Single-writer workloads pay one grant instead of a
+  message per write.
+
+Grants piggybacked on a data reply cost no extra frame; dedicated
+messages (callbacks, invalidates, recalls, grants on transfer) each cost
+one control frame.  Both protocols share the server-side directory of
+which client caches which file.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..cache.policies import DELAYED_WRITE, WRITE_THROUGH, PolicySpec
+from .events import EventLoop
+from .network import Ethernet
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from .client import Workstation
+
+__all__ = [
+    "ConsistencyProtocol",
+    "WriteThroughCallbacks",
+    "OwnershipLeases",
+    "PROTOCOLS",
+]
+
+#: Size of one dedicated consistency control message (header-only frame).
+CONTROL_FRAME_BYTES = 96
+
+
+class ConsistencyProtocol:
+    """Shared machinery: the who-caches-what directory and control frames."""
+
+    name: str = "abstract"
+    #: Write policy the protocol imposes on client caches.
+    client_policy: PolicySpec = WRITE_THROUGH
+
+    def __init__(self, loop: EventLoop, ether: Ethernet):
+        self.loop = loop
+        self.ether = ether
+        #: client_id -> Workstation, filled in by the simulator.
+        self.clients: dict[int, "Workstation"] = {}
+        #: file_id -> {client_id: None} (an ordered set: dict keys).
+        self.cachers: dict[int, dict[int, None]] = {}
+        #: Message counts by kind.
+        self.counts: dict[str, int] = {}
+        #: Called with (client_id, file_id, blocks) when a lease recall
+        #: forces a flush; the simulator turns it into a write RPC.
+        self.issue_writeback: Callable[[int, int, int], None] | None = None
+
+    def _control(self, kind: str) -> None:
+        """One dedicated control frame on the wire."""
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.ether.send(self.loop.now, CONTROL_FRAME_BYTES)
+
+    def _drop(self, client_id: int, file_id: int, from_byte: int = 0) -> None:
+        ws = self.clients.get(client_id)
+        if ws is not None:
+            ws.drop_file(file_id, from_byte)
+
+    def _flush(self, client_id: int, file_id: int) -> None:
+        ws = self.clients.get(client_id)
+        if ws is None:
+            return
+        blocks = ws.flush_file(file_id)
+        if blocks and self.issue_writeback is not None:
+            self.issue_writeback(client_id, file_id, blocks)
+
+    # -- hooks the workstation calls before touching its cache ----------------
+
+    def note_read(self, client_id: int, file_id: int) -> None:
+        raise NotImplementedError
+
+    def note_write(self, client_id: int, file_id: int) -> None:
+        raise NotImplementedError
+
+    def note_invalidation(self, file_id: int, from_byte: int = 0) -> None:
+        """A file died (unlink/truncate): every cached copy is stale."""
+        for client_id in list(self.cachers.get(file_id, ())):
+            self._control("invalidate")
+            self._drop(client_id, file_id, from_byte)
+        if from_byte == 0:
+            self.cachers.pop(file_id, None)
+
+
+class WriteThroughCallbacks(ConsistencyProtocol):
+    """Write-through clients; the server calls back every other cacher."""
+
+    name = "callbacks"
+    client_policy = WRITE_THROUGH
+
+    def note_read(self, client_id: int, file_id: int) -> None:
+        # Callback promise piggybacks on the read reply: no extra frame.
+        self.cachers.setdefault(file_id, {})[client_id] = None
+
+    def note_write(self, client_id: int, file_id: int) -> None:
+        holders = self.cachers.setdefault(file_id, {})
+        for other in [c for c in holders if c != client_id]:
+            self._control("callback")
+            self._drop(other, file_id)
+            del holders[other]
+        holders[client_id] = None
+
+
+class OwnershipLeases(ConsistencyProtocol):
+    """Sprite-style leases: one writer owns the file, others are recalled."""
+
+    name = "ownership"
+    client_policy = DELAYED_WRITE
+
+    def __init__(self, loop: EventLoop, ether: Ethernet):
+        super().__init__(loop, ether)
+        #: file_id -> owning client_id (only while write-owned).
+        self.owner: dict[int, int] = {}
+
+    def _recall(self, file_id: int) -> None:
+        owner = self.owner.pop(file_id, None)
+        if owner is None:
+            return
+        self._control("recall")
+        self._flush(owner, file_id)
+
+    def note_read(self, client_id: int, file_id: int) -> None:
+        if self.owner.get(file_id) not in (None, client_id):
+            # Someone else owns it dirty: recall so the server can serve
+            # current data.  The old owner keeps a clean read copy.
+            self._recall(file_id)
+        self.cachers.setdefault(file_id, {})[client_id] = None
+
+    def note_write(self, client_id: int, file_id: int) -> None:
+        if self.owner.get(file_id) == client_id:
+            return  # free: the whole point of the lease
+        self._recall(file_id)
+        holders = self.cachers.setdefault(file_id, {})
+        for other in [c for c in holders if c != client_id]:
+            self._control("invalidate")
+            self._drop(other, file_id)
+            del holders[other]
+        self._control("grant")
+        self.owner[file_id] = client_id
+        holders[client_id] = None
+
+    def note_invalidation(self, file_id: int, from_byte: int = 0) -> None:
+        if from_byte == 0:
+            self.owner.pop(file_id, None)
+        super().note_invalidation(file_id, from_byte)
+
+
+PROTOCOLS: dict[str, type[ConsistencyProtocol]] = {
+    WriteThroughCallbacks.name: WriteThroughCallbacks,
+    OwnershipLeases.name: OwnershipLeases,
+}

@@ -1,0 +1,102 @@
+"""A heap-based discrete-event loop.
+
+The rest of the repository replays traces *atemporally* — counters move,
+the clock is just a timestamp carried on each record.  The network file
+service cannot be simulated that way: queueing delay at the Ethernet and
+at the server depends on what else is in flight *right now*.  This module
+supplies the missing machinery: a classic discrete-event engine driving
+the same :class:`repro.clock.Clock` the workload engine uses, so netfs
+time and trace time share one axis.
+
+Events fire in ``(time, schedule order)`` order — ties are broken by the
+order in which :meth:`EventLoop.schedule` was called, mirroring the
+``(time, original event order)`` rule of
+:func:`repro.cache.stream.build_stream`.  Handles returned by
+``schedule`` can be cancelled (lazily: cancelled entries are skipped when
+popped), which is how RPC retransmission timers are disarmed by replies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..clock import Clock
+
+__all__ = ["EventHandle", "EventLoop"]
+
+
+class EventHandle:
+    """A scheduled callback; ``cancel()`` keeps it from firing."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class EventLoop:
+    """A monotonic, deterministic discrete-event scheduler."""
+
+    def __init__(self, clock: Clock | None = None):
+        self.clock = clock if clock is not None else Clock()
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def events_fired(self) -> int:
+        """Events executed so far (cancelled events excluded)."""
+        return self._fired
+
+    def schedule(self, time: float, fn: Callable[..., Any], *args) -> EventHandle:
+        """Run ``fn(*args)`` at simulated *time* (>= now)."""
+        if time < self.clock.now():
+            raise ValueError(
+                f"cannot schedule in the past ({time} < {self.clock.now()})"
+            )
+        handle = EventHandle(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args) -> EventHandle:
+        """Run ``fn(*args)`` *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule(self.clock.now() + delay, fn, *args)
+
+    def run(self, until: float | None = None) -> float:
+        """Fire events in order until the heap drains (or past *until*).
+
+        Returns the final simulated time.  Callbacks may schedule further
+        events; the loop keeps going until nothing is pending.
+        """
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.clock.set(handle.time)
+            self._fired += 1
+            handle.fn(*handle.args)
+        return self.clock.now()

@@ -1,0 +1,188 @@
+"""Latency and utilization metrics for the network file service.
+
+The existing cache layers report *counts*; netfs reports *time*.  The
+unit of accounting is one client request (one billed transfer from the
+trace), decomposed into the components the design questions care about:
+time queued for the Ethernet, time on the wire, time waiting in the
+server's request queue, and time being serviced (CPU + disk).  Each
+component keeps full percentile statistics so a saturated resource shows
+up as a fat tail, not just a bigger mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..cache.metrics import CacheMetrics
+
+__all__ = ["LatencySummary", "LatencySampler", "QueueTracker", "NetfsResult"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency component (seconds)."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    def render(self, label: str) -> str:
+        if not self.count:
+            return f"{label}: no samples"
+        return (
+            f"{label}: mean {1e3 * self.mean:.2f} ms, "
+            f"p50 {1e3 * self.p50:.2f} ms, p95 {1e3 * self.p95:.2f} ms, "
+            f"p99 {1e3 * self.p99:.2f} ms, max {1e3 * self.max:.2f} ms "
+            f"({self.count:,} samples)"
+        )
+
+
+class LatencySampler:
+    """Accumulates raw samples; ``summarize`` folds them to a summary."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        self.samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile on a pre-sorted list."""
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    def summarize(self) -> LatencySummary:
+        if not self.samples:
+            return LatencySummary()
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        return LatencySummary(
+            count=n,
+            mean=sum(ordered) / n,
+            p50=self._percentile(ordered, 0.50),
+            p95=self._percentile(ordered, 0.95),
+            p99=self._percentile(ordered, 0.99),
+            max=ordered[-1],
+        )
+
+
+@dataclass
+class QueueTracker:
+    """Time-weighted depth of one queue (the server's request queue)."""
+
+    depth: int = 0
+    max_depth: int = 0
+    _integral: float = 0.0
+    _last_time: float = 0.0
+    _started: bool = False
+
+    def update(self, now: float, depth: int) -> None:
+        if self._started:
+            self._integral += self.depth * max(0.0, now - self._last_time)
+        self._started = True
+        self._last_time = now
+        self.depth = depth
+        self.max_depth = max(self.max_depth, depth)
+
+    def mean_depth(self, duration: float) -> float:
+        if duration <= 0:
+            return 0.0
+        return self._integral / duration
+
+
+@dataclass
+class NetfsResult:
+    """Everything one netfs simulation measured."""
+
+    # Configuration echo.
+    clients: int = 0
+    client_cache_bytes: int = 0
+    server_cache_bytes: int = 0
+    block_size: int = 4096
+    protocol: str = ""
+    duration: float = 0.0
+
+    # Traffic counts.
+    requests: int = 0
+    local_hits: int = 0  # requests satisfied without any RPC
+    rpcs: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    queue_drops: int = 0
+    failures: int = 0
+    frames: int = 0
+    network_payload_bytes: int = 0
+
+    # Latency decomposition.
+    request_latency: LatencySummary = field(default_factory=LatencySummary)
+    network_wait: LatencySummary = field(default_factory=LatencySummary)
+    server_queue_wait: LatencySummary = field(default_factory=LatencySummary)
+    service_time: LatencySummary = field(default_factory=LatencySummary)
+
+    # Resource pressure.
+    ethernet_utilization: float = 0.0
+    disk_utilization: float = 0.0
+    server_queue_max: int = 0
+    server_queue_mean: float = 0.0
+
+    # Consistency traffic, by message kind.
+    consistency: dict[str, int] = field(default_factory=dict)
+
+    # Underlying cache behaviour.
+    client_metrics: CacheMetrics = field(default_factory=CacheMetrics)
+    server_metrics: CacheMetrics = field(default_factory=CacheMetrics)
+
+    @property
+    def consistency_messages(self) -> int:
+        """Total cache-consistency control messages."""
+        return sum(self.consistency.values())
+
+    @property
+    def network_messages(self) -> int:
+        """Every message on the wire: RPC requests/replies + control."""
+        return self.frames
+
+    @property
+    def network_bytes_per_second(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.network_payload_bytes / self.duration
+
+    def render(self) -> str:
+        con = ", ".join(
+            f"{kind}: {count:,}" for kind, count in sorted(self.consistency.items())
+        ) or "none"
+        lines = [
+            f"netfs: {self.clients} clients x "
+            f"{self.client_cache_bytes // 1024} KB cache, "
+            f"{self.server_cache_bytes // (1024 * 1024)} MB server cache, "
+            f"{self.block_size // 1024} KB blocks, "
+            f"{self.protocol} consistency, "
+            f"{self.duration:.0f} s of trace",
+            f"  requests: {self.requests:,} "
+            f"({self.local_hits:,} satisfied locally), "
+            f"{self.rpcs:,} RPCs, {self.retries:,} retries, "
+            f"{self.timeouts:,} timeouts, {self.queue_drops:,} queue drops, "
+            f"{self.failures:,} failures",
+            "  " + self.request_latency.render("request latency"),
+            "    " + self.network_wait.render("network wait"),
+            "    " + self.server_queue_wait.render("server queue"),
+            "    " + self.service_time.render("service"),
+            f"  Ethernet: {100 * self.ethernet_utilization:.1f}% utilized "
+            f"({self.frames:,} frames, "
+            f"{self.network_bytes_per_second / 1000:.1f} KB/s payload)",
+            f"  server disk: {100 * self.disk_utilization:.1f}% utilized; "
+            f"queue depth mean {self.server_queue_mean:.2f}, "
+            f"max {self.server_queue_max}",
+            f"  consistency messages: {self.consistency_messages:,} ({con})",
+        ]
+        return "\n".join(lines)

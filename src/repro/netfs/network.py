@@ -1,0 +1,95 @@
+"""The shared 10 Mbit Ethernet.
+
+Section 5.1 of the paper asks whether "a 10 Mbit/second network such as
+Ethernet" can carry a community of diskless workstations and answers in
+*average bandwidth*.  This model answers in *time*: the cable is a single
+FIFO resource, every frame serializes over it, and a frame that arrives
+while the cable is busy waits for everything already committed — so
+queueing delay rises with utilization exactly the way a loaded CSMA/CD
+segment's does (without modelling collisions; the FIFO captures the
+first-order knee).
+
+Frames pay a fixed per-frame overhead (preamble, header, CRC, interframe
+gap — 38 bytes on classic Ethernet) and are padded to the 64-byte minimum
+frame, so small RPC control messages are not free.  Payloads larger than
+the 1500-byte MTU are fragmented into multiple frames, which is how an
+8 KB read reply really crossed a 1985 segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EthernetModel", "Ethernet", "TEN_MBIT"]
+
+
+@dataclass(frozen=True)
+class EthernetModel:
+    """Static parameters of one shared segment."""
+
+    name: str = "10 Mbit Ethernet"
+    bits_per_second: float = 10e6
+    mtu_bytes: int = 1500
+    overhead_bytes: int = 38  # preamble + header + CRC + interframe gap
+    min_frame_bytes: int = 64
+
+    def __post_init__(self):
+        if self.bits_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.mtu_bytes <= 0 or self.min_frame_bytes < 0:
+            raise ValueError("frame sizes must be positive")
+
+    def frames_for(self, payload_bytes: int) -> int:
+        """Frames needed to move *payload_bytes* (at least one)."""
+        if payload_bytes <= self.mtu_bytes:
+            return 1
+        return -(-payload_bytes // self.mtu_bytes)
+
+    def wire_time(self, payload_bytes: int) -> float:
+        """Seconds of cable time to transmit *payload_bytes*."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload {payload_bytes}")
+        frames = self.frames_for(payload_bytes)
+        on_wire = max(payload_bytes + frames * self.overhead_bytes,
+                      frames * self.min_frame_bytes)
+        return on_wire * 8 / self.bits_per_second
+
+
+#: The paper's network, with classic framing overheads.
+TEN_MBIT = EthernetModel()
+
+
+@dataclass
+class Ethernet:
+    """The dynamic state of one segment during a simulation.
+
+    ``send`` reserves cable time FIFO and returns when the transmission
+    will finish; the caller schedules frame delivery at that instant.
+    The difference between "asked to send" and "started sending" is the
+    queueing delay the latency percentiles report.
+    """
+
+    model: EthernetModel = field(default_factory=lambda: TEN_MBIT)
+    busy_until: float = 0.0
+    busy_seconds: float = 0.0
+    frames_sent: int = 0
+    payload_bytes_sent: int = 0
+    queue_delays: list[float] = field(default_factory=list)
+
+    def send(self, now: float, payload_bytes: int) -> tuple[float, float]:
+        """Reserve the cable for one message; returns (start, finish)."""
+        start = max(now, self.busy_until)
+        wire = self.model.wire_time(payload_bytes)
+        finish = start + wire
+        self.busy_until = finish
+        self.busy_seconds += wire
+        self.frames_sent += self.model.frames_for(payload_bytes)
+        self.payload_bytes_sent += payload_bytes
+        self.queue_delays.append(start - now)
+        return start, finish
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of *duration* the cable spent transmitting."""
+        if duration <= 0:
+            return 0.0
+        return self.busy_seconds / duration

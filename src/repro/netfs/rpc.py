@@ -1,0 +1,206 @@
+"""The request/response layer between workstations and the server.
+
+Every client-cache miss and write-back becomes one RPC: a request frame
+over the shared Ethernet, service at the file server, a reply frame back.
+The failure handling is the part the counting simulations cannot see:
+
+* a request that reaches a full server queue is silently dropped;
+* the client arms a retransmission timer per attempt, with bounded
+  exponential backoff (doubling up to a cap) plus a small seeded jitter
+  so synchronized clients do not retry in lockstep;
+* the server absorbs retransmitted duplicates of requests it is already
+  holding (a duplicate-request cache, as NFS servers grew);
+* after ``max_retries`` retransmissions the RPC fails and the client
+  gives up — failures are reported, never hidden.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from .events import EventHandle, EventLoop
+from .metrics import LatencySampler
+from .network import Ethernet
+from .server import FileServer
+
+__all__ = ["RpcConfig", "Rpc", "RpcLayer"]
+
+
+@dataclass(frozen=True)
+class RpcConfig:
+    """Tunable costs and failure-handling parameters."""
+
+    request_header_bytes: int = 96
+    reply_header_bytes: int = 96
+    client_overhead_s: float = 0.0005  # marshalling + context switches
+    timeout_s: float = 0.35
+    max_retries: int = 5
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 5.0
+    retry_jitter_s: float = 0.01
+
+    def __post_init__(self):
+        if self.timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+
+    def timeout_for_attempt(self, attempt: int) -> float:
+        """Timeout armed for the *attempt*-th transmission (1-based)."""
+        return min(
+            self.backoff_cap_s,
+            self.timeout_s * self.backoff_factor ** (attempt - 1),
+        )
+
+
+class Rpc:
+    """One logical remote call and its accumulated timing."""
+
+    __slots__ = (
+        "rpc_id", "client_id", "file_id", "start", "end", "is_write",
+        "request_payload", "reply_payload", "issued_at", "attempts",
+        "network_wait", "server_queue_wait", "service_time",
+        "completed", "failed", "timer", "on_done",
+    )
+
+    def __init__(
+        self,
+        rpc_id: int,
+        client_id: int,
+        file_id: int,
+        start: int,
+        end: int,
+        is_write: bool,
+        request_payload: int,
+        reply_payload: int,
+        issued_at: float,
+        on_done: Callable[["Rpc", bool], None],
+    ):
+        self.rpc_id = rpc_id
+        self.client_id = client_id
+        self.file_id = file_id
+        self.start = start
+        self.end = end
+        self.is_write = is_write
+        self.request_payload = request_payload
+        self.reply_payload = reply_payload
+        self.issued_at = issued_at
+        self.attempts = 0
+        self.network_wait = 0.0
+        self.server_queue_wait = 0.0
+        self.service_time = 0.0
+        self.completed = False
+        self.failed = False
+        self.timer: EventHandle | None = None
+        self.on_done = on_done
+
+
+class RpcLayer:
+    """Issues RPCs for all clients and runs their retry state machines."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        ether: Ethernet,
+        server: FileServer,
+        config: RpcConfig | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.loop = loop
+        self.ether = ether
+        self.server = server
+        self.config = config if config is not None else RpcConfig()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.server.on_complete = self._request_serviced
+        self._next_id = 0
+        self.rpcs = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.failures = 0
+        self.network_waits = LatencySampler()
+
+    def call(
+        self,
+        client_id: int,
+        file_id: int,
+        start: int,
+        end: int,
+        is_write: bool,
+        on_done: Callable[[Rpc, bool], None],
+    ) -> Rpc:
+        """Issue one RPC now.  Writes carry their payload in the request,
+        reads in the reply."""
+        nbytes = end - start
+        rpc = Rpc(
+            rpc_id=self._next_id,
+            client_id=client_id,
+            file_id=file_id,
+            start=start,
+            end=end,
+            is_write=is_write,
+            request_payload=nbytes if is_write else 0,
+            reply_payload=0 if is_write else nbytes,
+            issued_at=self.loop.now,
+            on_done=on_done,
+        )
+        self._next_id += 1
+        self.rpcs += 1
+        self._transmit(rpc)
+        return rpc
+
+    # -- state machine ---------------------------------------------------------
+
+    def _transmit(self, rpc: Rpc) -> None:
+        rpc.attempts += 1
+        nbytes = self.config.request_header_bytes + rpc.request_payload
+        sent, delivered = self.ether.send(self.loop.now, nbytes)
+        rpc.network_wait += sent - self.loop.now
+        self.loop.schedule(delivered, self._deliver_request, rpc)
+        rpc.timer = self.loop.call_after(
+            self.config.timeout_for_attempt(rpc.attempts), self._timed_out, rpc
+        )
+
+    def _deliver_request(self, rpc: Rpc) -> None:
+        if rpc.completed or rpc.failed:
+            return
+        # A drop leaves the timer to discover the loss.
+        self.server.receive(rpc)
+
+    def _request_serviced(self, rpc: Rpc, now: float) -> None:
+        if rpc.completed or rpc.failed:
+            return
+        nbytes = self.config.reply_header_bytes + rpc.reply_payload
+        sent, delivered = self.ether.send(now, nbytes)
+        rpc.network_wait += sent - now
+        self.loop.schedule(delivered, self._deliver_reply, rpc)
+
+    def _deliver_reply(self, rpc: Rpc) -> None:
+        if rpc.completed or rpc.failed:
+            return
+        rpc.completed = True
+        if rpc.timer is not None:
+            rpc.timer.cancel()
+        self.network_waits.add(rpc.network_wait)
+        rpc.on_done(rpc, True)
+
+    def _timed_out(self, rpc: Rpc) -> None:
+        if rpc.completed or rpc.failed:
+            return
+        self.timeouts += 1
+        if rpc.attempts > self.config.max_retries:
+            rpc.failed = True
+            self.failures += 1
+            rpc.on_done(rpc, False)
+            return
+        self.retries += 1
+        jitter = self.rng.uniform(0.0, self.config.retry_jitter_s)
+        self.loop.call_after(jitter, self._retransmit, rpc)
+
+    def _retransmit(self, rpc: Rpc) -> None:
+        if rpc.completed or rpc.failed:
+            return
+        self._transmit(rpc)

@@ -4,6 +4,7 @@ two-level client/server cache, and the file-popularity analysis."""
 import pytest
 
 from repro.analysis.popularity import analyze_popularity
+from repro.cache.metrics import CacheMetrics
 from repro.cache.policies import DELAYED_WRITE, WRITE_THROUGH
 from repro.cache.simulator import simulate_cache
 from repro.cache.twolevel import simulate_two_level
@@ -144,3 +145,77 @@ class TestPopularity:
 
     def test_render(self, small_trace):
         assert "accesses" in analyze_popularity(small_trace).render()
+
+
+class TestDiskModelEdges:
+    """Edge cases: zero-I/O metrics and the locality bounds."""
+
+    def test_zero_io_estimate(self):
+        estimate = DiskTimeEstimate.from_metrics(
+            CacheMetrics(), 4096, trace_seconds=3600.0
+        )
+        assert estimate.disk_ios == 0
+        assert estimate.busy_seconds == 0.0
+        assert estimate.utilization == 0.0
+        assert "0.0% utilization" in estimate.render()
+
+    def test_zero_duration_guard(self):
+        metrics = CacheMetrics(disk_reads=100)
+        estimate = DiskTimeEstimate.from_metrics(metrics, 4096, trace_seconds=0.0)
+        assert estimate.busy_seconds > 0
+        assert estimate.utilization == 0.0  # guarded, not a ZeroDivisionError
+
+    def test_locality_zero_pays_full_seek(self):
+        model = DiskModel("t", avg_seek_s=0.02, rotation_s=0.01,
+                          transfer_bytes_per_s=1e6, locality=0.0)
+        assert model.service_time(0) == pytest.approx(0.02 + 0.005)
+
+    def test_locality_approaching_one_leaves_rotation_only(self):
+        model = DiskModel("t", avg_seek_s=0.02, rotation_s=0.01,
+                          transfer_bytes_per_s=1e6, locality=1.0 - 1e-9)
+        assert model.service_time(0) == pytest.approx(0.005, rel=1e-6)
+
+    def test_locality_one_is_rejected(self):
+        with pytest.raises(ValueError):
+            DiskModel("t", 0.02, 0.01, 1e6, locality=1.0)
+        with pytest.raises(ValueError):
+            DiskModel("t", 0.02, 0.01, 1e6, locality=-0.1)
+
+
+class TestTwoLevelClientCounts:
+    """Single-client vs many-client paths, and the render/rate guards."""
+
+    def test_single_client(self, medium_trace):
+        from repro.trace.ops import filter_users
+
+        user = sorted(medium_trace.user_ids())[0]
+        solo = filter_users(medium_trace, [user])
+        result = simulate_two_level(solo)
+        assert result.clients == 1
+        assert result.network_blocks <= result.client_metrics.block_accesses
+
+    def test_many_clients_see_more_total_traffic_than_one(self, medium_trace):
+        from repro.trace.ops import filter_users
+
+        user = sorted(medium_trace.user_ids())[0]
+        solo = simulate_two_level(filter_users(medium_trace, [user]))
+        everyone = simulate_two_level(medium_trace)
+        assert everyone.clients > 1
+        assert everyone.network_blocks > solo.network_blocks
+
+    def test_zero_duration_guards(self):
+        from repro.cache.twolevel import TwoLevelResult
+
+        result = TwoLevelResult(
+            client_cache_bytes=512 * 1024,
+            server_cache_bytes=16 * 1024 * 1024,
+            block_size=4096,
+            duration=0.0,
+        )
+        assert result.network_bytes_per_second == 0.0
+        assert "rate unavailable" in result.render()
+
+    def test_consistency_messages_default(self, medium_trace):
+        result = simulate_two_level(medium_trace)
+        assert result.consistency_messages == 0
+        assert "consistency messages: 0" in result.render()
