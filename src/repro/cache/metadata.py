@@ -32,13 +32,14 @@ from __future__ import annotations
 from ..analysis.accesses import Transfer
 from ..trace.log import TraceLog
 from ..trace.records import AccessMode, CloseEvent, OpenEvent
-from .stream import StreamItem, build_stream
+from .stream import StreamItem, cached_stream, memoize_per_log
 
 __all__ = [
     "INODE_TABLE_FILE_ID",
     "DIRECTORY_FILE_ID_BASE",
     "metadata_stream",
     "build_stream_with_metadata",
+    "cached_stream_with_metadata",
     "is_metadata_item",
 ]
 
@@ -128,13 +129,32 @@ def build_stream_with_metadata(
     """The normal simulator stream with metadata transfers interleaved."""
     import heapq
 
-    data = build_stream(log, include_paging=include_paging)
+    data = cached_stream(log, include_paging=include_paging)
     meta = metadata_stream(
         log,
         files_per_directory=files_per_directory,
         inode_writeback=inode_writeback,
     )
     return list(heapq.merge(data, meta, key=lambda item: item.time))
+
+
+def cached_stream_with_metadata(
+    log: TraceLog,
+    include_paging: bool = False,
+    files_per_directory: int = 32,
+    inode_writeback: bool = True,
+) -> list[StreamItem]:
+    """Memoized :func:`build_stream_with_metadata` (one build per config)."""
+    return memoize_per_log(
+        log,
+        ("stream+metadata", include_paging, files_per_directory, inode_writeback),
+        lambda: build_stream_with_metadata(
+            log,
+            include_paging=include_paging,
+            files_per_directory=files_per_directory,
+            inode_writeback=inode_writeback,
+        ),
+    )
 
 
 def is_metadata_item(item: StreamItem) -> bool:

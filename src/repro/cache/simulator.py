@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from ..trace.log import TraceLog
 from .metrics import CacheMetrics, ExposureTracker, ResidencyTracker
 from .policies import DELAYED_WRITE, PolicySpec, WritePolicy
-from .stream import Invalidation, StreamItem, build_stream
+from .stream import Invalidation, StreamItem, cached_stream
 
 __all__ = ["BlockCacheSimulator", "simulate_cache"]
 
@@ -216,7 +216,10 @@ class BlockCacheSimulator:
             self._insert(key, dirty=False)
 
     def run(
-        self, stream: list[StreamItem], checkpoint_time: float | None = None
+        self,
+        stream: list[StreamItem],
+        checkpoint_time: float | None = None,
+        flush_epoch: float | None = None,
     ) -> CacheMetrics:
         """Replay *stream* (from :func:`~repro.cache.stream.build_stream`).
 
@@ -224,10 +227,25 @@ class BlockCacheSimulator:
         counters when the stream first reaches that time; the *warm*
         metrics (cold-start excluded) are then
         ``sim.metrics.delta(sim.checkpoint)``.
+
+        *flush_epoch* anchors the flush-back scan schedule.  Flush scans
+        happen at ``epoch + k * flush_interval``; historically the epoch
+        was the first stream item's (arbitrary) timestamp, which made the
+        scan phase depend on when the first transfer happened to be
+        billed, and drifted between incremental ``run`` calls.  Passing
+        ``flush_epoch=log.start_time`` pins the schedule to the trace
+        start — what a real kernel's periodic ``sync`` daemon does (it
+        runs on wall-clock ticks, not relative to the first write).  The
+        sweeps and :func:`simulate_cache` anchor to the trace start; the
+        default ``None`` keeps the legacy first-item anchoring for
+        backward compatibility with incremental callers that replay one
+        item at a time.
         """
         bs = self.block_size
         flushing = self.policy.policy is WritePolicy.FLUSH_BACK
         next_flush = None
+        if flushing and flush_epoch is not None:
+            next_flush = flush_epoch + self.policy.flush_interval
         for item in stream:
             self._now = item.time
             if (
@@ -275,8 +293,15 @@ def simulate_cache(
     include_paging: bool = False,
     **kwargs,
 ) -> CacheMetrics:
-    """Convenience one-shot: build the stream from *log* and simulate."""
+    """Convenience one-shot: build the stream from *log* and simulate.
+
+    The stream is memoized per log (see :func:`cached_stream`) and the
+    flush-back schedule is anchored at the trace start.
+    """
     sim = BlockCacheSimulator(
         cache_bytes=cache_bytes, block_size=block_size, policy=policy, **kwargs
     )
-    return sim.run(build_stream(log, include_paging=include_paging))
+    return sim.run(
+        cached_stream(log, include_paging=include_paging),
+        flush_epoch=log.start_time,
+    )

@@ -1,8 +1,20 @@
 """Parameter sweeps over the cache simulator (Figures 5–7, Tables VI–VII).
 
-Each sweep builds the input stream once and replays it through one
-simulator per configuration.  Results come back as small dataclasses with
-``render()`` methods that print the paper's table layouts.
+Each sweep decomposes into independent (stream, configuration) jobs.
+With ``jobs=1`` (the default) every configuration runs through the
+reference :class:`BlockCacheSimulator` in-process — the oracle path.
+With ``jobs>1`` the stream is compiled once per block size into a
+:class:`~repro.parallel.packed.PackedStream`, write-through columns
+collapse into a single one-pass stack traversal
+(:func:`~repro.parallel.stack.simulate_stack`), and the remaining
+configurations replay the packed stream on a process pool
+(:func:`~repro.parallel.executor.run_jobs`).  Both paths produce
+bit-identical metrics (asserted by ``tests/test_parallel.py``); results
+come back as small dataclasses with ``render()`` methods that print the
+paper's table layouts.
+
+Flush-back scans are anchored at the trace start in both paths (see
+:meth:`BlockCacheSimulator.run` on why).
 """
 
 from __future__ import annotations
@@ -10,6 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.report import render_table
+from ..parallel.executor import resolve_jobs, run_jobs
+from ..parallel.packed import cached_packed_stream, simulate_packed
+from ..parallel.stack import simulate_stack
 from ..trace.log import TraceLog
 from .metrics import CacheMetrics
 from .policies import (
@@ -18,9 +33,10 @@ from .policies import (
     FLUSH_5MIN,
     WRITE_THROUGH,
     PolicySpec,
+    WritePolicy,
 )
 from .simulator import BlockCacheSimulator
-from .stream import StreamItem, Transfer, build_stream
+from .stream import StreamItem, Transfer, cached_stream
 
 __all__ = [
     "PAPER_CACHE_SIZES",
@@ -68,6 +84,25 @@ def _size_label(nbytes: int) -> str:
     return f"{nbytes // 1024} kbytes"
 
 
+def _sweep_worker(payload, job):
+    """One sweep job: a packed replay or a whole stack curve.
+
+    Module-level so the executor can ship it to worker processes.  Jobs
+    are ``("sim", packkey, cache_bytes, policy)`` returning one
+    :class:`CacheMetrics`, or ``("stack", packkey, sizes)`` returning one
+    metrics object per size (write-through only).
+    """
+    packed = payload["packed"][job[1]]
+    if job[0] == "stack":
+        sizes = job[2]
+        curve = simulate_stack(packed, sizes)
+        return [curve.metrics(size) for size in sizes]
+    _, _, cache_bytes, policy = job
+    return simulate_packed(
+        packed, cache_bytes, policy, flush_epoch=packed.start_time
+    ).metrics
+
+
 @dataclass
 class CachePolicySweep:
     """Miss ratio as a function of cache size and write policy
@@ -105,21 +140,50 @@ def cache_size_policy_sweep(
     cache_sizes: tuple[int, ...] = PAPER_CACHE_SIZES,
     policies: tuple[PolicySpec, ...] = PAPER_POLICIES,
     block_size: int = 4096,
+    jobs: int | None = None,
 ) -> CachePolicySweep:
     """Reproduce Figure 5 / Table VI on *log*."""
-    stream = build_stream(log)
+    n = resolve_jobs(jobs)
     sweep = CachePolicySweep(
         trace_name=log.name,
         block_size=block_size,
         cache_sizes=tuple(cache_sizes),
         policies=tuple(policies),
     )
+    if n <= 1:
+        stream = cached_stream(log)
+        for size in cache_sizes:
+            for policy in policies:
+                sim = BlockCacheSimulator(
+                    cache_bytes=size, block_size=block_size, policy=policy
+                )
+                sweep.results[(size, policy.label)] = sim.run(
+                    stream, flush_epoch=log.start_time
+                )
+        return sweep
+
+    payload = {"packed": {block_size: cached_packed_stream(log, block_size)}}
+    stack_policies = [
+        p for p in policies if p.policy is WritePolicy.WRITE_THROUGH
+    ]
+    jobs_list: list[tuple] = []
+    if stack_policies:
+        jobs_list.append(("stack", block_size, tuple(cache_sizes)))
     for size in cache_sizes:
         for policy in policies:
-            sim = BlockCacheSimulator(
-                cache_bytes=size, block_size=block_size, policy=policy
-            )
-            sweep.results[(size, policy.label)] = sim.run(stream)
+            if policy.policy is WritePolicy.WRITE_THROUGH:
+                continue
+            jobs_list.append(("sim", block_size, size, policy))
+    for job, result in zip(
+        jobs_list, run_jobs(_sweep_worker, jobs_list, payload=payload, jobs=n)
+    ):
+        if job[0] == "stack":
+            for size, metrics in zip(job[2], result):
+                for policy in stack_policies:
+                    sweep.results[(size, policy.label)] = metrics
+        else:
+            _, _, size, policy = job
+            sweep.results[(size, policy.label)] = result
     return sweep
 
 
@@ -178,21 +242,48 @@ def block_size_sweep(
     block_sizes: tuple[int, ...] = PAPER_BLOCK_SIZES,
     cache_sizes: tuple[int, ...] = PAPER_BLOCK_SWEEP_CACHES,
     policy: PolicySpec = DELAYED_WRITE,
+    jobs: int | None = None,
 ) -> BlockSizeSweep:
     """Reproduce Figure 6 / Table VII on *log*."""
-    stream = build_stream(log)
+    n = resolve_jobs(jobs)
     sweep = BlockSizeSweep(
         trace_name=log.name,
         block_sizes=tuple(block_sizes),
         cache_sizes=tuple(cache_sizes),
     )
+    if n <= 1:
+        stream = cached_stream(log)
+        for bs in block_sizes:
+            sweep.no_cache[bs] = count_block_accesses(stream, bs)
+            for cache in cache_sizes:
+                sim = BlockCacheSimulator(
+                    cache_bytes=cache, block_size=bs, policy=policy
+                )
+                sweep.results[(bs, cache)] = sim.run(
+                    stream, flush_epoch=log.start_time
+                )
+        return sweep
+
+    packed = {bs: cached_packed_stream(log, bs) for bs in block_sizes}
+    use_stack = policy.policy is WritePolicy.WRITE_THROUGH
+    jobs_list: list[tuple] = []
     for bs in block_sizes:
-        sweep.no_cache[bs] = count_block_accesses(stream, bs)
-        for cache in cache_sizes:
-            sim = BlockCacheSimulator(
-                cache_bytes=cache, block_size=bs, policy=policy
-            )
-            sweep.results[(bs, cache)] = sim.run(stream)
+        sweep.no_cache[bs] = packed[bs].n_accesses
+        if use_stack:
+            jobs_list.append(("stack", bs, tuple(cache_sizes)))
+        else:
+            for cache in cache_sizes:
+                jobs_list.append(("sim", bs, cache, policy))
+    for job, result in zip(
+        jobs_list,
+        run_jobs(_sweep_worker, jobs_list, payload={"packed": packed}, jobs=n),
+    ):
+        if job[0] == "stack":
+            for cache, metrics in zip(job[2], result):
+                sweep.results[(job[1], cache)] = metrics
+        else:
+            _, bs, cache, _ = job
+            sweep.results[(bs, cache)] = result
     return sweep
 
 
@@ -232,18 +323,39 @@ def paging_comparison(
     cache_sizes: tuple[int, ...] = PAPER_CACHE_SIZES,
     block_size: int = 4096,
     policy: PolicySpec = DELAYED_WRITE,
+    jobs: int | None = None,
 ) -> PagingComparison:
     """Reproduce Figure 7 on *log*."""
-    plain = build_stream(log, include_paging=False)
-    paged = build_stream(log, include_paging=True)
+    n = resolve_jobs(jobs)
     comparison = PagingComparison(
         trace_name=log.name, cache_sizes=tuple(cache_sizes)
     )
+    if n <= 1:
+        plain = cached_stream(log, include_paging=False)
+        paged = cached_stream(log, include_paging=True)
+        for size in cache_sizes:
+            comparison.ignored[size] = BlockCacheSimulator(
+                cache_bytes=size, block_size=block_size, policy=policy
+            ).run(plain, flush_epoch=log.start_time)
+            comparison.simulated[size] = BlockCacheSimulator(
+                cache_bytes=size, block_size=block_size, policy=policy
+            ).run(paged, flush_epoch=log.start_time)
+        return comparison
+
+    payload = {
+        "packed": {
+            "plain": cached_packed_stream(log, block_size, include_paging=False),
+            "paged": cached_packed_stream(log, block_size, include_paging=True),
+        }
+    }
+    jobs_list: list[tuple] = []
     for size in cache_sizes:
-        comparison.ignored[size] = BlockCacheSimulator(
-            cache_bytes=size, block_size=block_size, policy=policy
-        ).run(plain)
-        comparison.simulated[size] = BlockCacheSimulator(
-            cache_bytes=size, block_size=block_size, policy=policy
-        ).run(paged)
+        jobs_list.append(("sim", "plain", size, policy))
+        jobs_list.append(("sim", "paged", size, policy))
+    for job, result in zip(
+        jobs_list, run_jobs(_sweep_worker, jobs_list, payload=payload, jobs=n)
+    ):
+        _, variant, size, _ = job
+        table = comparison.ignored if variant == "plain" else comparison.simulated
+        table[size] = result
     return comparison

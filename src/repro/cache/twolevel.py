@@ -31,7 +31,7 @@ from ..trace.log import TraceLog
 from .metrics import CacheMetrics
 from .policies import DELAYED_WRITE, WRITE_THROUGH, PolicySpec
 from .simulator import BlockCacheSimulator
-from .stream import Invalidation, StreamItem, Transfer, build_stream
+from .stream import Invalidation, StreamItem, Transfer, cached_stream
 
 __all__ = ["TwoLevelResult", "simulate_two_level"]
 
@@ -111,7 +111,7 @@ def simulate_two_level(
     data); delayed-write clients cut network traffic further at the cost
     the paper discusses in Section 6.2.
     """
-    stream = build_stream(log)
+    stream = cached_stream(log)
     result = TwoLevelResult(
         client_cache_bytes=client_cache_bytes,
         server_cache_bytes=server_cache_bytes,

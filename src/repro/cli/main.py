@@ -47,10 +47,11 @@ from ..cache.sweep import (
 from ..experiments import (
     all_ids,
     all_system_ids,
-    get as get_experiment,
     run_all,
+    run_one,
     run_system_experiment,
 )
+from ..parallel.executor import auto_jobs, jobs_context
 from ..strace.convert import convert_file
 from ..trace.intervals import interval_stats
 from ..trace.io_binary import read_binary, write_binary
@@ -180,14 +181,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs(args: argparse.Namespace) -> int:
+    """The validated worker count: ``--jobs`` or the capped CPU count."""
+    return args.jobs if args.jobs is not None else auto_jobs()
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     log = _load_trace(args.trace)
+    jobs = _jobs(args)
     if args.kind == "policy":
-        sweep = cache_size_policy_sweep(log)
+        sweep = cache_size_policy_sweep(log, jobs=jobs)
     elif args.kind == "blocksize":
-        sweep = block_size_sweep(log)
+        sweep = block_size_sweep(log, jobs=jobs)
     else:
-        print(paging_comparison(log).render())
+        print(paging_comparison(log, jobs=jobs).render())
         return 0
     print(sweep.render())
     if args.csv:
@@ -223,17 +230,21 @@ def _cmd_netfs(args: argparse.Namespace) -> int:
         result = generate(profile, seed=args.seed, duration=args.hours * 3600.0)
         log = result.trace
         print(log.summary_line())
-    outcome = simulate_netfs(
-        log,
-        clients=args.clients,
-        client_cache_bytes=args.client_cache,
-        server_cache_bytes=args.server_cache,
-        block_size=args.block_size,
-        protocol=args.protocol,
-        server_queue_limit=args.queue_limit,
-        load_scale=args.load_scale,
-        seed=args.seed,
-    )
+    # One configuration is a single discrete-event run; the jobs context
+    # still applies to any sweep launched beneath it (and validates the
+    # flag uniformly across subcommands).
+    with jobs_context(_jobs(args)):
+        outcome = simulate_netfs(
+            log,
+            clients=args.clients,
+            client_cache_bytes=args.client_cache,
+            server_cache_bytes=args.server_cache,
+            block_size=args.block_size,
+            protocol=args.protocol,
+            server_queue_limit=args.queue_limit,
+            load_scale=args.load_scale,
+            seed=args.seed,
+        )
     print(outcome.render())
     return 0
 
@@ -249,15 +260,16 @@ def _cmd_export_figures(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     log = _load_trace(args.trace)
+    jobs = _jobs(args)
     if args.all:
-        for result in run_all(log):
+        for result in run_all(log, jobs=jobs):
             print(result)
             print()
         return 0
     if not args.id:
         print(f"available experiments: {', '.join(all_ids())}", file=sys.stderr)
         return 2
-    print(get_experiment(args.id).run(log))
+    print(run_one(args.id, log, jobs=jobs))
     return 0
 
 
@@ -385,6 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.add_argument("--kind", choices=["policy", "blocksize", "paging"], default="policy")
     p.add_argument("--csv", help="also write the grid as CSV", default=None)
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker processes (default: CPU count, capped; "
+                   "1 forces the serial reference path)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -422,6 +437,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="server request-queue bound")
     p.add_argument("--load-scale", type=_positive_int, default=1,
                    help="replay N disjoint copies of the trace in parallel")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker processes for sweeps beneath this run "
+                   "(default: CPU count, capped)")
     p.set_defaults(func=_cmd_netfs)
 
     p = sub.add_parser(
@@ -435,6 +453,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.add_argument("--id", help="experiment id (see --all for the list)")
     p.add_argument("--all", action="store_true", help="run every exhibit")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker processes (default: CPU count, capped; "
+                   "1 forces the serial reference path)")
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..cache.policies import DELAYED_WRITE, FLUSH_30S, FLUSH_5MIN, WRITE_THROUGH
 from ..cache.simulator import BlockCacheSimulator
-from ..cache.stream import build_stream
+from ..cache.stream import cached_stream
 from ..trace.log import TraceLog
 from .base import ExperimentResult, register
 
@@ -29,7 +29,7 @@ _MB = 1024 * 1024
     "the write savings",
 )
 def run(log: TraceLog) -> ExperimentResult:
-    stream = build_stream(log)
+    stream = cached_stream(log)
     duration = max(log.duration, 1e-9)
     rows = []
     data = {}

@@ -10,9 +10,9 @@ with and without them.
 
 from __future__ import annotations
 
-from ..cache.metadata import build_stream_with_metadata
+from ..cache.metadata import cached_stream_with_metadata
 from ..cache.simulator import BlockCacheSimulator
-from ..cache.stream import build_stream
+from ..cache.stream import cached_stream
 from ..trace.log import TraceLog
 from .base import ExperimentResult, register
 
@@ -27,8 +27,8 @@ _MB = 1024 * 1024
     "efficiently by caching",
 )
 def run(log: TraceLog) -> ExperimentResult:
-    plain = build_stream(log)
-    with_meta = build_stream_with_metadata(log)
+    plain = cached_stream(log)
+    with_meta = cached_stream_with_metadata(log)
 
     lines = []
     data = {}

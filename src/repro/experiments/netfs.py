@@ -12,12 +12,24 @@ utilization instead of counts.
 from __future__ import annotations
 
 from ..netfs import simulate_netfs
+from ..parallel.executor import run_jobs
 from ..trace.log import TraceLog
 from .base import ExperimentResult, register
 
 CLIENT_COUNTS = (4, 16)
 CLIENT_CACHES = (128 * 1024, 512 * 1024)
 NETFS_PROTOCOLS = ("callbacks", "ownership")
+
+
+def _netfs_job(log: TraceLog, config: tuple):
+    """One grid cell (module-level so the executor can ship it)."""
+    protocol, clients, cache_bytes = config
+    return simulate_netfs(
+        log,
+        clients=clients,
+        client_cache_bytes=cache_bytes,
+        protocol=protocol,
+    )
 
 
 @register(
@@ -34,33 +46,36 @@ def run(log: TraceLog) -> ExperimentResult:
         f"{'mean ms':>8} {'p99 ms':>8} {'eth %':>6} {'disk %':>7} {'consis':>7}"
     ]
     data: dict = {}
-    for protocol in NETFS_PROTOCOLS:
-        for clients in CLIENT_COUNTS:
-            for cache_bytes in CLIENT_CACHES:
-                result = simulate_netfs(
-                    log,
-                    clients=clients,
-                    client_cache_bytes=cache_bytes,
-                    protocol=protocol,
-                )
-                key = (protocol, clients, cache_bytes)
-                data[key] = {
-                    "mean_latency_s": result.request_latency.mean,
-                    "p99_latency_s": result.request_latency.p99,
-                    "ethernet_utilization": result.ethernet_utilization,
-                    "disk_utilization": result.disk_utilization,
-                    "consistency_messages": result.consistency_messages,
-                    "network_messages": result.network_messages,
-                }
-                rows.append(
-                    f"{protocol:<10} {result.clients:>7} "
-                    f"{cache_bytes // 1024:>6}K "
-                    f"{1e3 * result.request_latency.mean:>8.2f} "
-                    f"{1e3 * result.request_latency.p99:>8.2f} "
-                    f"{100 * result.ethernet_utilization:>6.2f} "
-                    f"{100 * result.disk_utilization:>7.2f} "
-                    f"{result.consistency_messages:>7,}"
-                )
+    grid = [
+        (protocol, clients, cache_bytes)
+        for protocol in NETFS_PROTOCOLS
+        for clients in CLIENT_COUNTS
+        for cache_bytes in CLIENT_CACHES
+    ]
+    # Every cell replays the whole trace through the discrete-event
+    # service: the natural fan-out unit.  The worker count comes from the
+    # ambient jobs context (serial when none is active).
+    for (protocol, clients, cache_bytes), result in zip(
+        grid, run_jobs(_netfs_job, grid, payload=log)
+    ):
+        key = (protocol, clients, cache_bytes)
+        data[key] = {
+            "mean_latency_s": result.request_latency.mean,
+            "p99_latency_s": result.request_latency.p99,
+            "ethernet_utilization": result.ethernet_utilization,
+            "disk_utilization": result.disk_utilization,
+            "consistency_messages": result.consistency_messages,
+            "network_messages": result.network_messages,
+        }
+        rows.append(
+            f"{protocol:<10} {result.clients:>7} "
+            f"{cache_bytes // 1024:>6}K "
+            f"{1e3 * result.request_latency.mean:>8.2f} "
+            f"{1e3 * result.request_latency.p99:>8.2f} "
+            f"{100 * result.ethernet_utilization:>6.2f} "
+            f"{100 * result.disk_utilization:>7.2f} "
+            f"{result.consistency_messages:>7,}"
+        )
     return ExperimentResult(
         experiment_id="netfs",
         title="Network file service: latency/utilization vs clients, cache, protocol",

@@ -11,7 +11,7 @@ written blocks die within 30 seconds and about 50% within 5 minutes
 from __future__ import annotations
 
 from ..cache.simulator import BlockCacheSimulator
-from ..cache.stream import build_stream
+from ..cache.stream import cached_stream
 from ..trace.log import TraceLog
 from .base import ExperimentResult, register
 
@@ -24,7 +24,7 @@ from .base import ExperimentResult, register
     "ejection and are never written to disk",
 )
 def run(log: TraceLog) -> ExperimentResult:
-    stream = build_stream(log)
+    stream = cached_stream(log)
     sim = BlockCacheSimulator(4 * 1024 * 1024, track_residency=True)
     metrics = sim.run(stream)
     big = BlockCacheSimulator(16 * 1024 * 1024)

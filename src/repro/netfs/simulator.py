@@ -20,7 +20,7 @@ import random
 
 from ..analysis.accesses import Transfer
 from ..cache.metrics import CacheMetrics
-from ..cache.stream import Invalidation, StreamItem, build_stream
+from ..cache.stream import Invalidation, StreamItem, cached_stream
 from ..disk.model import FUJITSU_EAGLE, DiskModel
 from ..trace.log import TraceLog
 from .client import Workstation
@@ -112,7 +112,7 @@ def simulate_netfs(
     if clients is not None and clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
 
-    stream = _replicate(build_stream(log), load_scale)
+    stream = _replicate(cached_stream(log), load_scale)
 
     loop = EventLoop()
     ether = Ethernet(model=ethernet)

@@ -1,0 +1,43 @@
+"""Fast paths for parameter sweeps.
+
+Three layers, composable but independent:
+
+* :mod:`.packed` — compile a trace's item stream once per block size
+  into flat arrays and replay them through a tight single-loop simulator
+  (bit-identical metrics to the reference
+  :class:`~repro.cache.simulator.BlockCacheSimulator`);
+* :mod:`.stack` — one-pass Mattson stack analysis (extended with
+  deletion holes) producing the whole cache-size curve in a single
+  traversal, exact under write-through;
+* :mod:`.executor` — fan independent (payload, job) pairs out to a
+  process pool, payload shipped once, results in deterministic order,
+  serial fallback when ``jobs=1`` or the pool dies.
+
+The sweeps in :mod:`repro.cache.sweep` keep the reference simulator as
+their ``jobs=1`` path, so the fast paths are continuously differentially
+tested against it.
+"""
+
+from .executor import auto_jobs, jobs_context, resolve_jobs, run_jobs
+from .packed import (
+    PackedRun,
+    PackedStream,
+    cached_packed_stream,
+    pack_stream,
+    simulate_packed,
+)
+from .stack import StackCurve, simulate_stack
+
+__all__ = [
+    "auto_jobs",
+    "jobs_context",
+    "resolve_jobs",
+    "run_jobs",
+    "PackedRun",
+    "PackedStream",
+    "cached_packed_stream",
+    "pack_stream",
+    "simulate_packed",
+    "StackCurve",
+    "simulate_stack",
+]

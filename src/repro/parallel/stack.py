@@ -1,0 +1,347 @@
+"""One-pass LRU miss-count curves (Mattson stack analysis, with deletions).
+
+Every cache-size sweep in the paper replays the same stream once per
+cache size, yet LRU caches obey the *inclusion property*: the content of
+a C-block cache is always a subset of a larger one's, so a single
+traversal that tracks each block's reuse depth yields hit/miss counts
+for **all** sizes at once (Mattson et al., "Evaluation techniques for
+storage hierarchies", IBM Systems Journal 1970).
+
+The classical algorithm assumes blocks are never removed.  Our streams
+delete: unlinks and truncations invalidate cached blocks, and with them
+plain inclusion breaks (a block evicted from a small cache may survive in
+a large one, so the caches are no longer nested prefixes of one recency
+list).  The fix is to keep deleted blocks' *positions* as **holes**:
+
+* the stack is a list of slots, each a live block or a hole;
+* invariant: the C-block cache holds exactly the live blocks among the
+  first C slots;
+* delete  = mark the block's slot as a hole, in place;
+* access  = push the block to the front and remove the *shallowest* hole
+  (the accessed block's old slot becomes a hole first, so a plain
+  move-to-front is the common no-hole case).
+
+Only slots above the removed hole shift down, which keeps every
+boundary update local: one pointer per tracked capacity follows the slot
+at that depth, counting an eviction whenever a live slot is pushed
+across it (the shallowest hole is by definition below no other hole, so
+crossing slots are always live).
+
+Metrics: hits and misses, evictions, invalidations and read elisions
+depend only on cache *content*, which LRU keeps identical under every
+write policy — the policies differ only in when dirty data reaches the
+disk.  Under **write-through** no block is ever dirty and every write is
+a disk write, so the one-pass curve reconstructs the reference
+simulator's full :class:`~repro.cache.metrics.CacheMetrics` exactly
+(asserted bit-for-bit by the differential tests).  For the other
+policies disk-write counts need the per-capacity dirty state, and the
+sweeps fall back to one (packed) simulation per configuration.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from ..cache.metrics import CacheMetrics
+from ..cache.policies import WRITE_THROUGH, PolicySpec, WritePolicy
+from .packed import KEY_SHIFT, OP_INVALIDATE, OP_READ, OP_WRITE_COVERED, PackedStream
+
+__all__ = ["StackCurve", "simulate_stack"]
+
+
+class _Slot:
+    """One stack position: a live block or (after a delete) a hole."""
+
+    __slots__ = ("stamp", "hole", "prev", "next")
+
+    def __init__(self, stamp: int):
+        self.stamp = stamp
+        self.hole = False
+        self.prev: _Slot | None = None  # toward the front (MRU)
+        self.next: _Slot | None = None  # toward the tail (LRU)
+
+
+class StackCurve:
+    """Per-cache-size metrics from one stack traversal."""
+
+    def __init__(
+        self,
+        block_size: int,
+        cache_sizes: tuple[int, ...],
+        index: dict[int, int],
+        final: list[CacheMetrics],
+        checkpoint: list[CacheMetrics] | None,
+    ):
+        self.block_size = block_size
+        self.cache_sizes = cache_sizes
+        self._index = index
+        self._final = final
+        self._checkpoint = checkpoint
+
+    def metrics(self, cache_bytes: int) -> CacheMetrics:
+        return self._final[self._index[cache_bytes]]
+
+    def checkpoint(self, cache_bytes: int) -> CacheMetrics | None:
+        if self._checkpoint is None:
+            return None
+        return self._checkpoint[self._index[cache_bytes]]
+
+
+def simulate_stack(
+    packed: PackedStream,
+    cache_sizes: tuple[int, ...],
+    policy: PolicySpec = WRITE_THROUGH,
+    *,
+    read_elision: bool = True,
+    invalidate_on_delete: bool = True,
+    checkpoint_time: float | None = None,
+) -> StackCurve:
+    """Metrics for every size in *cache_sizes*, in one pass over *packed*.
+
+    Exact for LRU replacement under write-through (see the module
+    docstring for why other policies cannot share one pass).
+    """
+    if policy.policy is not WritePolicy.WRITE_THROUGH:
+        raise ValueError(
+            "the one-pass stack simulator is exact only under write-through; "
+            f"got {policy.label!r} — use simulate_packed per configuration"
+        )
+    bs = packed.block_size
+    sizes = tuple(cache_sizes)
+    caps = sorted({size // bs for size in sizes})
+    if not caps:
+        raise ValueError("no cache sizes given")
+    if caps[0] < 1:
+        raise ValueError("cache smaller than one block")
+    m = len(caps)
+    index = {size: caps.index(size // bs) for size in sizes}
+    caps_to_j = {c: j for j, c in enumerate(caps)}
+
+    # Depth regions: an access at stack position p falls in region r when
+    # caps[r-1] < p <= caps[r] — a hit for capacities >= caps[r], a miss
+    # below.  Region m means deeper than every boundary (or absent): a
+    # miss everywhere.  One histogram per access class; per-capacity
+    # counts are suffix (misses) / prefix (invalidations) sums at the end.
+    h_read = [0] * (m + 1)
+    h_cov = [0] * (m + 1)  # covered writes: elidable read-miss cost
+    h_unc = [0] * (m + 1)  # uncovered writes: read-modify-write on miss
+    h_inv = [0] * (m + 1)
+    ev = [0] * m
+    reads = writes = 0
+    snapshot: tuple | None = None
+
+    slots: dict[int, _Slot] = {}  # packed key -> live slot
+    by_file: dict[int, set[int]] = {}
+    holes: list[tuple[int, _Slot]] = []  # max-heap of (-stamp, hole slot)
+    bounds: list[_Slot | None] = [None] * m
+    head: _Slot | None = None
+    tail: _Slot | None = None
+    n_slots = 0
+    stamp = 0
+
+    def _region(slot: _Slot) -> int:
+        s = slot.stamp
+        for j, bn in enumerate(bounds):
+            # The list is always in decreasing-stamp order, so "at or
+            # above the boundary slot" is a stamp comparison.
+            if bn is None or bn is slot or s > bn.stamp:
+                return j
+        return m
+
+    def _consume(hole: _Slot) -> None:
+        """Remove *hole* (the shallowest) after a push to the front.
+
+        Slots above it shift one position deeper; a live slot pushed
+        across a boundary is an eviction at that capacity.  No hole can
+        sit above the shallowest one, so crossing slots are live, and a
+        boundary sitting *on* the hole just refills from above.
+        """
+        nonlocal tail
+        cs = hole.stamp
+        for j, bn in enumerate(bounds):
+            if bn is None:
+                continue
+            if bn is hole:
+                bounds[j] = bn.prev
+            elif bn.stamp > cs:
+                ev[j] += 1
+                bounds[j] = bn.prev
+        up, down = hole.prev, hole.next
+        up.next = down  # never the head: a push just preceded us
+        if down is not None:
+            down.prev = up
+        else:
+            tail = up
+
+    use_time = checkpoint_time is not None
+    cp_at = checkpoint_time if use_time else 0.0
+    inf = float("inf")
+    if use_time:
+        rows = zip(packed.ops, packed.keys, packed.times)
+    else:
+        rows = zip(packed.ops, packed.keys)
+
+    for row in rows:
+        if use_time:
+            op, key, t = row
+            if t >= cp_at:
+                snapshot = (
+                    reads,
+                    writes,
+                    list(h_read),
+                    list(h_cov),
+                    list(h_unc),
+                    list(h_inv),
+                    list(ev),
+                )
+                cp_at = inf
+        else:
+            op, key = row
+
+        if op == OP_INVALIDATE:
+            if not invalidate_on_delete:
+                continue
+            fid = key >> KEY_SHIFT
+            live = by_file.get(fid)
+            if live:
+                doomed = [k for k in live if k >= key]
+                for k in doomed:
+                    slot = slots.pop(k)
+                    h_inv[_region(slot)] += 1
+                    slot.hole = True
+                    heappush(holes, (-slot.stamp, slot))
+                    live.discard(k)
+                if not live:
+                    del by_file[fid]
+            continue
+
+        slot = slots.get(key)
+        if slot is not None:
+            r = _region(slot)
+            if op == OP_READ:
+                reads += 1
+                h_read[r] += 1
+            elif op == OP_WRITE_COVERED:
+                writes += 1
+                h_cov[r] += 1
+            else:
+                writes += 1
+                h_unc[r] += 1
+            if slot is head:
+                continue
+            if holes and slot.stamp < -holes[0][0]:
+                # A hole sits above this block, so its old slot stays
+                # behind as a (deeper) hole and that shallowest hole is
+                # the one consumed.  The block itself moves to a fresh
+                # front slot.
+                slot.hole = True
+                heappush(holes, (-slot.stamp, slot))
+                stamp += 1
+                fresh = _Slot(stamp)
+                fresh.next = head
+                head.prev = fresh
+                head = fresh
+                slots[key] = fresh
+                _, hole = heappop(holes)
+                _consume(hole)
+            else:
+                # No hole above: the old slot would be the shallowest
+                # hole and be consumed at once — a plain move-to-front.
+                s_old = slot.stamp
+                for j, bn in enumerate(bounds):
+                    if bn is None:
+                        continue
+                    if bn is slot:
+                        bounds[j] = slot.prev
+                    elif bn.stamp > s_old:
+                        ev[j] += 1
+                        up = bn.prev
+                        bounds[j] = up if up is not None else slot
+                up, down = slot.prev, slot.next
+                up.next = down
+                if down is not None:
+                    down.prev = up
+                else:
+                    tail = up
+                slot.prev = None
+                slot.next = head
+                head.prev = slot
+                head = slot
+                stamp += 1
+                slot.stamp = stamp
+            continue
+
+        # Not in the stack: a miss at every capacity.
+        if op == OP_READ:
+            reads += 1
+            h_read[m] += 1
+        elif op == OP_WRITE_COVERED:
+            writes += 1
+            h_cov[m] += 1
+        else:
+            writes += 1
+            h_unc[m] += 1
+        stamp += 1
+        fresh = _Slot(stamp)
+        fresh.next = head
+        if head is not None:
+            head.prev = fresh
+        else:
+            tail = fresh
+        head = fresh
+        slots[key] = fresh
+        fid = key >> KEY_SHIFT
+        live = by_file.get(fid)
+        if live is None:
+            live = by_file[fid] = set()
+        live.add(key)
+        if holes:
+            _, hole = heappop(holes)
+            _consume(hole)
+        else:
+            for j, bn in enumerate(bounds):
+                if bn is not None:
+                    ev[j] += 1
+                    bounds[j] = bn.prev
+            n_slots += 1
+            j = caps_to_j.get(n_slots)
+            if j is not None:
+                bounds[j] = tail
+
+    def _assemble(state: tuple) -> list[CacheMetrics]:
+        reads, writes, h_read, h_cov, h_unc, h_inv, ev = state
+        out = []
+        for j in range(m):
+            read_misses = sum(h_read[j + 1 :])
+            covered_misses = sum(h_cov[j + 1 :])
+            uncovered_misses = sum(h_unc[j + 1 :])
+            disk_reads = read_misses + uncovered_misses
+            elisions = 0
+            if read_elision:
+                elisions = covered_misses
+            else:
+                disk_reads += covered_misses
+            out.append(
+                CacheMetrics(
+                    read_accesses=reads,
+                    write_accesses=writes,
+                    disk_reads=disk_reads,
+                    disk_writes=writes,  # write-through: one per write
+                    evictions=ev[j],
+                    invalidated_blocks=sum(h_inv[: j + 1]),
+                    dirty_blocks_created=0,
+                    dirty_blocks_discarded=0,
+                    read_elisions=elisions,
+                )
+            )
+        return out
+
+    final = _assemble((reads, writes, h_read, h_cov, h_unc, h_inv, ev))
+    cp = _assemble(snapshot) if snapshot is not None else None
+    return StackCurve(
+        block_size=bs,
+        cache_sizes=sizes,
+        index=index,
+        final=final,
+        checkpoint=cp,
+    )
