@@ -6,12 +6,20 @@ activity (Table IV), sequentiality (Table V, Figure 1), dynamic file sizes
 (Figure 2), open durations (Figure 3) and new-file lifetimes (Figure 4).
 """
 
-from .accesses import FileAccess, Run, Transfer, iter_transfers, reconstruct_accesses
+from .accesses import (
+    FileAccess,
+    Run,
+    Transfer,
+    iter_transfers,
+    reconstruct_accesses,
+    transfers_from_accesses,
+)
 from .activity import ActivityReport, WindowedActivity, analyze_activity
 from .burstiness import BurstinessReport, analyze_burstiness
 from .cdf import Cdf
 from .comparison import TraceHeadline, compare_traces, headline
 from .export import export_figures, write_cdf_csv, write_sweep_csv
+from .onepass import OnePassReport, analyze_onepass
 from .lifetimes import (
     Lifetime,
     collect_lifetimes,
@@ -37,6 +45,9 @@ __all__ = [
     "Transfer",
     "reconstruct_accesses",
     "iter_transfers",
+    "transfers_from_accesses",
+    "analyze_onepass",
+    "OnePassReport",
     "analyze_activity",
     "ActivityReport",
     "WindowedActivity",

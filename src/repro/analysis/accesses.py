@@ -25,7 +25,40 @@ from ..trace.records import (
     SeekEvent,
 )
 
-__all__ = ["Run", "FileAccess", "reconstruct_accesses", "iter_transfers", "Transfer"]
+__all__ = [
+    "Run",
+    "FileAccess",
+    "reconstruct_accesses",
+    "iter_transfers",
+    "transfers_from_accesses",
+    "Transfer",
+]
+
+
+class _memoized:
+    """A minimal compute-once property.
+
+    Like :class:`functools.cached_property` (the value lands in the
+    instance ``__dict__`` and later reads bypass the descriptor), minus
+    the per-miss locking that 3.11's version pays: accesses are built and
+    analyzed within one process, and every analysis touches every access,
+    so the miss path runs tens of thousands of times per report.
+    """
+
+    def __init__(self, func):
+        self.func = func
+        self.name = func.__name__
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def __get__(self, obj, owner=None):
+        if obj is None:
+            return self
+        value = self.func(obj)
+        obj.__dict__[self.name] = value
+        return value
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,7 +80,13 @@ class Run:
 
 @dataclass
 class FileAccess:
-    """Everything one open told us."""
+    """Everything one open told us.
+
+    ``runs`` is appended to only while :func:`reconstruct_accesses` is
+    replaying the trace and never mutated afterwards, so the derived
+    values below are memoized: every downstream analysis of a
+    shared access list reads them several times.
+    """
 
     open_id: int
     file_id: int
@@ -63,7 +102,7 @@ class FileAccess:
     seek_after_data: bool = False
     runs: list[Run] = field(default_factory=list)
 
-    @property
+    @_memoized
     def bytes_transferred(self) -> int:
         return sum(r.length for r in self.runs)
 
@@ -72,7 +111,7 @@ class FileAccess:
         """How long the file was open (Figure 3's quantity)."""
         return self.close_time - self.open_time
 
-    @property
+    @_memoized
     def size_at_close(self) -> int:
         """The file size when the access ended.
 
@@ -84,7 +123,7 @@ class FileAccess:
         furthest = max((r.end for r in self.runs), default=0)
         return max(base, furthest)
 
-    @property
+    @_memoized
     def whole_file(self) -> bool:
         """A whole-file transfer: read or written sequentially start to end."""
         if len(self.runs) != 1:
@@ -97,7 +136,7 @@ class FileAccess:
         # For writes the end of the single run *is* the end of the file.
         return run.end == self.size_at_close
 
-    @property
+    @_memoized
     def sequential(self) -> bool:
         """Sequential per the paper: whole-file, or a single initial
         reposition followed by one uninterrupted transfer.  Accesses that
@@ -188,8 +227,8 @@ class Transfer:
         return self.end - self.start
 
 
-def iter_transfers(log: TraceLog) -> Iterator[Transfer]:
-    """Stream billed transfers in time order, without holding all accesses.
+def transfers_from_accesses(accesses: list[FileAccess]) -> list[Transfer]:
+    """Flatten reconstructed accesses into time-sorted billed transfers.
 
     Each sequential run becomes one transfer at its billing time.
     Read-write opens produce transfers flagged as writes when the open was
@@ -198,23 +237,22 @@ def iter_transfers(log: TraceLog) -> Iterator[Transfer]:
     conservative convention and treat read-write runs as writes (they can
     dirty cache blocks).
     """
+    transfers: list[Transfer] = []
+    append = transfers.append
+    for access in accesses:
+        is_write = access.mode is not AccessMode.READ
+        file_id = access.file_id
+        user_id = access.user_id
+        for run in access.runs:
+            append(Transfer(run.time, file_id, user_id, run.start, run.end, is_write))
+    transfers.sort(key=lambda t: t.time)
+    return transfers
+
+
+def iter_transfers(log: TraceLog) -> Iterator[Transfer]:
+    """Stream billed transfers in time order (see
+    :func:`transfers_from_accesses`)."""
     # Reconstruct eagerly, then merge runs by billing time.  Traces are
     # processed in one pass downstream; memory here is bounded by the
     # number of opens, which is fine for multi-day synthetic traces.
-    accesses = reconstruct_accesses(log)
-    transfers: list[Transfer] = []
-    for access in accesses:
-        is_write = access.mode is not AccessMode.READ
-        for run in access.runs:
-            transfers.append(
-                Transfer(
-                    time=run.time,
-                    file_id=access.file_id,
-                    user_id=access.user_id,
-                    start=run.start,
-                    end=run.end,
-                    is_write=is_write,
-                )
-            )
-    transfers.sort(key=lambda t: t.time)
-    return iter(transfers)
+    return iter(transfers_from_accesses(reconstruct_accesses(log)))

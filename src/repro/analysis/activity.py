@@ -91,15 +91,19 @@ def _window_analysis(
     active: list[set[int]] = [set() for _ in range(n_intervals)]
     bytes_by_user: list[dict[int, int]] = [{} for _ in range(n_intervals)]
 
-    def slot(t: float) -> int:
-        return min(n_intervals - 1, int((t - start) / window))
-
+    # The slot computation is inlined in both loops: a function call per
+    # mark dominated this routine on long traces.
+    last = n_intervals - 1
     for t, uid in event_marks:
-        active[slot(t)].add(uid)
+        i = int((t - start) / window)
+        active[i if i < last else last].add(uid)
     for t, uid, nbytes in byte_marks:
-        i = slot(t)
+        i = int((t - start) / window)
+        if i > last:
+            i = last
         active[i].add(uid)
-        bytes_by_user[i][uid] = bytes_by_user[i].get(uid, 0) + nbytes
+        by_user = bytes_by_user[i]
+        by_user[uid] = by_user.get(uid, 0) + nbytes
 
     counts = [float(len(a)) for a in active]
     throughputs: list[float] = []

@@ -18,7 +18,7 @@ from ..trace.log import TraceLog
 from ..trace.records import OpenEvent
 from .accesses import iter_transfers
 
-__all__ = ["BurstinessReport", "analyze_burstiness"]
+__all__ = ["BurstinessReport", "analyze_burstiness", "assemble_burstiness"]
 
 
 @dataclass
@@ -71,6 +71,18 @@ def analyze_burstiness(log: TraceLog, window: float = 10.0) -> BurstinessReport:
         key = (slot(transfer.time), transfer.user_id)
         user_bytes[key] = user_bytes.get(key, 0) + transfer.length
 
+    return assemble_burstiness(window, duration, opens, busy, user_bytes)
+
+
+def assemble_burstiness(
+    window: float,
+    duration: float,
+    opens: list[int],
+    busy: list[bool],
+    user_bytes: dict[tuple[int, int], int],
+) -> BurstinessReport:
+    """Assemble the report from pre-windowed tallies (shared with the
+    one-pass analyzer, which fills the windows in its fused loop)."""
     total_opens = sum(opens)
     mean_rate = total_opens / duration if duration else 0.0
     peak_rate = max(opens) / window if opens else 0.0
@@ -80,6 +92,6 @@ def analyze_burstiness(log: TraceLog, window: float = 10.0) -> BurstinessReport:
         mean_open_rate=mean_rate,
         peak_open_rate=peak_rate,
         peak_to_mean=peak_rate / mean_rate if mean_rate else 0.0,
-        idle_window_fraction=busy.count(False) / n,
+        idle_window_fraction=busy.count(False) / len(busy),
         max_user_rate=max_user,
     )

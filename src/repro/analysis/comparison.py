@@ -14,15 +14,10 @@ from dataclasses import dataclass
 from ..cache.policies import DELAYED_WRITE
 from ..cache.simulator import simulate_cache
 from ..trace.log import TraceLog
-from .accesses import reconstruct_accesses
-from .activity import analyze_activity
-from .lifetimes import collect_lifetimes, daemon_spike_fraction, lifetime_cdfs
-from .opentimes import open_time_cdf
+from .onepass import analyze_onepass
 from .report import render_table
-from .sequentiality import analyze_sequentiality
-from .sizes import file_size_cdfs
 
-__all__ = ["TraceHeadline", "compare_traces", "headline"]
+__all__ = ["TraceHeadline", "compare_traces", "headline", "render_comparison"]
 
 _MB = 1024 * 1024
 
@@ -44,34 +39,33 @@ class TraceHeadline:
 
 
 def headline(log: TraceLog) -> TraceHeadline:
-    """Compute one trace's headline row."""
-    accesses = reconstruct_accesses(log)
-    activity = analyze_activity(log)
-    seq = analyze_sequentiality(log, accesses)
-    sizes, _bytes = file_size_cdfs(log, accesses)
-    opens = open_time_cdf(log, accesses)
-    lifetimes = collect_lifetimes(log)
-    by_files, _ = lifetime_cdfs(log, lifetimes)
+    """Compute one trace's headline row (one fused analysis pass plus the
+    cache simulation)."""
+    r = analyze_onepass(log)
     cache = simulate_cache(log, 4 * _MB, policy=DELAYED_WRITE)
     return TraceHeadline(
         name=log.name,
         events=len(log),
-        per_user_bytes_sec=activity.ten_minute.mean_user_throughput,
-        whole_file_read_pct=seq.read.percent_whole(),
-        sequential_read_pct=seq.read.percent_sequential(),
-        accesses_under_10k_pct=100 * sizes.fraction_at_or_below(10 * 1024),
-        opens_under_half_s_pct=100 * opens.fraction_at_or_below(0.5),
-        files_dead_200s_pct=100 * by_files.fraction_at_or_below(200.0),
-        daemon_spike_pct=100 * daemon_spike_fraction(lifetimes),
+        per_user_bytes_sec=r.activity.ten_minute.mean_user_throughput,
+        whole_file_read_pct=r.sequentiality.read.percent_whole(),
+        sequential_read_pct=r.sequentiality.read.percent_sequential(),
+        accesses_under_10k_pct=100 * r.size_by_accesses.fraction_at_or_below(10 * 1024),
+        opens_under_half_s_pct=100 * r.open_times.fraction_at_or_below(0.5),
+        files_dead_200s_pct=100 * r.lifetime_by_files.fraction_at_or_below(200.0),
+        daemon_spike_pct=100 * r.daemon_spike,
         miss_ratio_4mb=cache.miss_ratio,
     )
 
 
 def compare_traces(logs: list[TraceLog]) -> str:
     """The Section 7 table for any set of traces."""
+    return render_comparison([headline(log) for log in logs])
+
+
+def render_comparison(headlines: list[TraceHeadline]) -> str:
+    """The Section 7 table from precomputed headline rows."""
     rows = []
-    for log in logs:
-        h = headline(log)
+    for h in headlines:
         rows.append(
             (
                 h.name,

@@ -101,13 +101,16 @@ def collect_lifetimes(log: TraceLog) -> list[Lifetime]:
 
 
 def lifetime_cdfs(
-    log: TraceLog, lifetimes: list[Lifetime] | None = None
+    log: TraceLog | None, lifetimes: list[Lifetime] | None = None
 ) -> tuple[Cdf, Cdf]:
     """Figure 4: lifetime CDFs ``(by_files, by_bytes_created)``.
 
-    Censored (still-alive) data appears only in the denominators.
+    Censored (still-alive) data appears only in the denominators.  Either
+    a trace or pre-collected *lifetimes* must be given.
     """
     if lifetimes is None:
+        if log is None:
+            raise ValueError("need a trace or pre-collected lifetimes")
         lifetimes = collect_lifetimes(log)
     dead = [lt for lt in lifetimes if lt.lifetime is not None]
     censored_count = float(len(lifetimes) - len(dead))

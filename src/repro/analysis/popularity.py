@@ -16,7 +16,12 @@ from ..trace.log import TraceLog
 from .accesses import FileAccess, reconstruct_accesses
 from .report import format_bytes, render_table
 
-__all__ = ["FilePopularity", "PopularityReport", "analyze_popularity"]
+__all__ = [
+    "FilePopularity",
+    "PopularityReport",
+    "analyze_popularity",
+    "popularity_from_accesses",
+]
 
 
 @dataclass
@@ -87,6 +92,11 @@ def analyze_popularity(
     """Rank every file by dynamic accesses."""
     if accesses is None:
         accesses = reconstruct_accesses(log)
+    return popularity_from_accesses(accesses)
+
+
+def popularity_from_accesses(accesses: list[FileAccess]) -> PopularityReport:
+    """Popularity ranking from pre-reconstructed accesses (no trace needed)."""
     by_file: dict[int, FilePopularity] = {}
     for access in accesses:
         entry = by_file.get(access.file_id)

@@ -20,12 +20,12 @@ executed").
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
-from typing import Callable, Hashable, Union
+from typing import Union
 
 from ..analysis.accesses import Run, Transfer  # noqa: F401 (Run re-exported)
 from ..trace.log import TraceLog
+from ..trace.memo import memoize_per_log  # noqa: F401 (re-exported; moved to trace.memo)
 from ..trace.records import (
     AccessMode,
     CloseEvent,
@@ -137,47 +137,6 @@ def build_stream(log: TraceLog, include_paging: bool = False) -> list[StreamItem
 
     items.sort(key=lambda x: (x[0], x[1]))
     return [item for _, _, item in items]
-
-
-# -- per-log memoization ------------------------------------------------------
-#
-# Every sweep replays the same derived stream through many configurations,
-# and ``run_all`` replays it through many experiments.  Rebuilding it each
-# time dominated sweep setup, so derived products (item streams, metadata
-# streams, packed streams) are memoized per TraceLog.  The table is keyed
-# by object identity with a weakref for cleanup, and validated against the
-# event count: TraceLog's mutation API is append-only, so a changed length
-# is exactly a changed log.
-
-_MEMO: dict[int, tuple[weakref.ref, int, dict[Hashable, object]]] = {}
-
-
-def _memo_table(log: TraceLog) -> dict[Hashable, object]:
-    key = id(log)
-    nevents = len(log.events)
-    entry = _MEMO.get(key)
-    if entry is not None:
-        ref, n, table = entry
-        if ref() is log and n == nevents:
-            return table
-
-    def _evict(_ref, _key=key):
-        _MEMO.pop(_key, None)
-
-    table: dict[Hashable, object] = {}
-    _MEMO[key] = (weakref.ref(log, _evict), nevents, table)
-    return table
-
-
-def memoize_per_log(log: TraceLog, key: Hashable, builder: Callable[[], object]):
-    """Return the memoized product *key* for *log*, building it on miss."""
-    table = _memo_table(log)
-    try:
-        return table[key]
-    except KeyError:
-        product = builder()
-        table[key] = product
-        return product
 
 
 def cached_stream(log: TraceLog, include_paging: bool = False) -> list[StreamItem]:

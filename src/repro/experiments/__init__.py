@@ -7,6 +7,7 @@ this package registers them all; use :func:`run_all` /
 
 from . import (  # noqa: F401  (imported for registration side effects)
     burstiness,
+    comparison,
     exposure,
     fig1,
     fig2,

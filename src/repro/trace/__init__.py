@@ -7,8 +7,16 @@ validation, the Table III summary statistics and the Section 3.1
 inter-event-interval analysis.
 """
 
+from .columns import TraceColumns, cached_columns
 from .intervals import IntervalStats, event_intervals, interval_stats
-from .io_binary import read_binary, write_binary
+from .io_binary import (
+    BinaryTraceWriter,
+    TraceSpool,
+    read_binary,
+    read_binary_columns,
+    write_binary,
+    write_binary_columns,
+)
 from .io_text import iter_text, read_text, write_text
 from .log import TraceLog
 from .ops import filter_files, filter_users, merge, renumber_opens, shift_time
@@ -46,6 +54,12 @@ __all__ = [
     "iter_text",
     "read_binary",
     "write_binary",
+    "read_binary_columns",
+    "write_binary_columns",
+    "BinaryTraceWriter",
+    "TraceSpool",
+    "TraceColumns",
+    "cached_columns",
     "validate",
     "ValidationReport",
     "compute_stats",

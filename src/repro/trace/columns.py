@@ -1,0 +1,332 @@
+"""Columnar (struct-of-arrays) trace storage.
+
+A :class:`TraceColumns` holds the same information as a
+:class:`~repro.trace.log.TraceLog`, but as eight flat typed columns — one
+row per event — instead of one Python object per event.  At multi-day
+scale that matters twice over: the columns cost a few tens of bytes per
+event (versus a few hundred for a dataclass instance), and a consumer
+that loops over primitive ints and floats (the one-pass analyzer, the
+binary writer) never touches the allocator or the attribute machinery.
+The per-event strings of the paper's kernel records are ids, not paths
+(Table II logged ``file_id``/``user_id``, never names), so the only
+strings stored are the trace's interned ``name``/``description``.
+
+Column meaning by event kind (unused slots hold zero):
+
+======  ========  =======  =======  ==========  ===========  =====
+kind    open_ids  file_ids user_ids sizes       positions    flags
+======  ========  =======  =======  ==========  ===========  =====
+open    open_id   file_id  user_id  size        initial_pos  mode | created<<2 | new_file<<3
+close   open_id   .        .        .           final_pos    .
+seek    open_id   .        .        prev_pos    new_pos      .
+create  .         file_id  user_id  .           .            .
+unlink  .         file_id  .        .           .            .
+trunc   .         file_id  .        new_length  .            .
+exec    .         file_id  user_id  size        .            .
+======  ========  =======  =======  ==========  ===========  =====
+
+Kind tags are shared with the binary format (:mod:`repro.trace.io_binary`),
+so a binary file deserializes straight into columns — and serializes
+straight out of them — without ever materializing event objects.
+Code that still wants objects gets them lazily: :meth:`TraceColumns.event`
+builds one row's dataclass on demand, and iteration yields them one at a
+time.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator
+
+from .log import TraceLog
+from .memo import memoize_per_log
+from .records import (
+    AccessMode,
+    CloseEvent,
+    CreateEvent,
+    ExecEvent,
+    OpenEvent,
+    SeekEvent,
+    TraceEvent,
+    TruncateEvent,
+    UnlinkEvent,
+)
+
+__all__ = [
+    "KIND_OPEN",
+    "KIND_CLOSE",
+    "KIND_SEEK",
+    "KIND_CREATE",
+    "KIND_UNLINK",
+    "KIND_TRUNC",
+    "KIND_EXEC",
+    "KIND_LABELS",
+    "FLAG_MODE_MASK",
+    "FLAG_CREATED",
+    "FLAG_NEW_FILE",
+    "TraceColumns",
+    "cached_columns",
+]
+
+KIND_OPEN = 1
+KIND_CLOSE = 2
+KIND_SEEK = 3
+KIND_CREATE = 4
+KIND_UNLINK = 5
+KIND_TRUNC = 6
+KIND_EXEC = 7
+
+KIND_LABELS = {
+    KIND_OPEN: "open",
+    KIND_CLOSE: "close",
+    KIND_SEEK: "seek",
+    KIND_CREATE: "create",
+    KIND_UNLINK: "unlink",
+    KIND_TRUNC: "trunc",
+    KIND_EXEC: "exec",
+}
+
+#: Open-event flag layout: two mode bits (AccessMode 1..3) plus booleans.
+FLAG_MODE_MASK = 0x3
+FLAG_CREATED = 0x4
+FLAG_NEW_FILE = 0x8
+
+
+class TraceColumns:
+    """A trace as parallel typed columns (see the module docstring)."""
+
+    __slots__ = (
+        "name",
+        "description",
+        "kinds",
+        "times",
+        "open_ids",
+        "file_ids",
+        "user_ids",
+        "sizes",
+        "positions",
+        "flags",
+    )
+
+    def __init__(
+        self,
+        name: str = "trace",
+        description: str = "",
+        kinds: bytes = b"",
+        times: array | None = None,
+        open_ids: array | None = None,
+        file_ids: array | None = None,
+        user_ids: array | None = None,
+        sizes: array | None = None,
+        positions: array | None = None,
+        flags: bytes = b"",
+    ):
+        self.name = name
+        self.description = description
+        self.kinds = kinds
+        self.times = times if times is not None else array("d")
+        self.open_ids = open_ids if open_ids is not None else array("q")
+        self.file_ids = file_ids if file_ids is not None else array("q")
+        self.user_ids = user_ids if user_ids is not None else array("q")
+        self.sizes = sizes if sizes is not None else array("q")
+        self.positions = positions if positions is not None else array("q")
+        self.flags = flags
+        n = len(self.kinds)
+        for column in (
+            self.times,
+            self.open_ids,
+            self.file_ids,
+            self.user_ids,
+            self.sizes,
+            self.positions,
+            self.flags,
+        ):
+            if len(column) != n:
+                raise ValueError(
+                    f"ragged columns: kinds has {n} rows, a column has "
+                    f"{len(column)}"
+                )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_log(cls, log: TraceLog) -> "TraceColumns":
+        """Compile *log* into columns (one pass over the event objects)."""
+        n = len(log.events)
+        kinds = bytearray(n)
+        flags = bytearray(n)
+        times = array("d", bytes(8 * n))
+        open_ids = array("q", bytes(8 * n))
+        file_ids = array("q", bytes(8 * n))
+        user_ids = array("q", bytes(8 * n))
+        sizes = array("q", bytes(8 * n))
+        positions = array("q", bytes(8 * n))
+        for i, event in enumerate(log.events):
+            times[i] = event.time
+            if isinstance(event, OpenEvent):
+                kinds[i] = KIND_OPEN
+                open_ids[i] = event.open_id
+                file_ids[i] = event.file_id
+                user_ids[i] = event.user_id
+                sizes[i] = event.size
+                positions[i] = event.initial_pos
+                flags[i] = (
+                    int(event.mode)
+                    | (FLAG_CREATED if event.created else 0)
+                    | (FLAG_NEW_FILE if event.new_file else 0)
+                )
+            elif isinstance(event, CloseEvent):
+                kinds[i] = KIND_CLOSE
+                open_ids[i] = event.open_id
+                positions[i] = event.final_pos
+            elif isinstance(event, SeekEvent):
+                kinds[i] = KIND_SEEK
+                open_ids[i] = event.open_id
+                sizes[i] = event.prev_pos
+                positions[i] = event.new_pos
+            elif isinstance(event, CreateEvent):
+                kinds[i] = KIND_CREATE
+                file_ids[i] = event.file_id
+                user_ids[i] = event.user_id
+            elif isinstance(event, UnlinkEvent):
+                kinds[i] = KIND_UNLINK
+                file_ids[i] = event.file_id
+            elif isinstance(event, TruncateEvent):
+                kinds[i] = KIND_TRUNC
+                file_ids[i] = event.file_id
+                sizes[i] = event.new_length
+            elif isinstance(event, ExecEvent):
+                kinds[i] = KIND_EXEC
+                file_ids[i] = event.file_id
+                user_ids[i] = event.user_id
+                sizes[i] = event.size
+            else:
+                raise TypeError(
+                    f"cannot columnarize event of type {type(event).__name__}"
+                )
+        return cls(
+            name=log.name,
+            description=log.description,
+            kinds=bytes(kinds),
+            times=times,
+            open_ids=open_ids,
+            file_ids=file_ids,
+            user_ids=user_ids,
+            sizes=sizes,
+            positions=positions,
+            flags=bytes(flags),
+        )
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for i in range(len(self.kinds)):
+            yield self.event(i)
+
+    def event(self, i: int) -> TraceEvent:
+        """Materialize row *i* as its event dataclass (lazy objects)."""
+        kind = self.kinds[i]
+        t = self.times[i]
+        if kind == KIND_OPEN:
+            fl = self.flags[i]
+            return OpenEvent(
+                time=t,
+                open_id=self.open_ids[i],
+                file_id=self.file_ids[i],
+                user_id=self.user_ids[i],
+                size=self.sizes[i],
+                mode=AccessMode(fl & FLAG_MODE_MASK),
+                created=bool(fl & FLAG_CREATED),
+                new_file=bool(fl & FLAG_NEW_FILE),
+                initial_pos=self.positions[i],
+            )
+        if kind == KIND_CLOSE:
+            return CloseEvent(
+                time=t, open_id=self.open_ids[i], final_pos=self.positions[i]
+            )
+        if kind == KIND_SEEK:
+            return SeekEvent(
+                time=t,
+                open_id=self.open_ids[i],
+                prev_pos=self.sizes[i],
+                new_pos=self.positions[i],
+            )
+        if kind == KIND_CREATE:
+            return CreateEvent(
+                time=t, file_id=self.file_ids[i], user_id=self.user_ids[i]
+            )
+        if kind == KIND_UNLINK:
+            return UnlinkEvent(time=t, file_id=self.file_ids[i])
+        if kind == KIND_TRUNC:
+            return TruncateEvent(
+                time=t, file_id=self.file_ids[i], new_length=self.sizes[i]
+            )
+        if kind == KIND_EXEC:
+            return ExecEvent(
+                time=t,
+                file_id=self.file_ids[i],
+                user_id=self.user_ids[i],
+                size=self.sizes[i],
+            )
+        raise ValueError(f"unknown kind tag {kind} at row {i}")
+
+    def to_log(self) -> TraceLog:
+        """Materialize every row; the fully object-based view."""
+        return TraceLog(
+            name=self.name,
+            description=self.description,
+            events=[self.event(i) for i in range(len(self.kinds))],
+        )
+
+    # -- simple derived properties ------------------------------------------
+
+    @property
+    def start_time(self) -> float:
+        return self.times[0] if len(self.times) else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.times[-1] if len(self.times) else 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def count(self, kind: str) -> int:
+        """Number of events whose kind label equals *kind*."""
+        for tag, label in KIND_LABELS.items():
+            if label == kind:
+                return self.kinds.count(tag)
+        return 0
+
+    def nbytes(self) -> int:
+        """Approximate resident size of the column buffers."""
+        return (
+            len(self.kinds)
+            + len(self.flags)
+            + sum(
+                col.itemsize * len(col)
+                for col in (
+                    self.times,
+                    self.open_ids,
+                    self.file_ids,
+                    self.user_ids,
+                    self.sizes,
+                    self.positions,
+                )
+            )
+        )
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.name}: {len(self.kinds)} events over "
+            f"{self.duration / 3600:.2f} hours (columnar)"
+        )
+
+
+def cached_columns(log: TraceLog) -> TraceColumns:
+    """Memoized :meth:`TraceColumns.from_log` (one build per log)."""
+    return memoize_per_log(log, ("columns",), lambda: TraceColumns.from_log(log))

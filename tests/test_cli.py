@@ -31,6 +31,51 @@ class TestGenerate:
         assert rc == 0
         assert read_binary(str(out)).name == "C4"
 
+    def test_spool_streams_to_binary(self, tmp_path, capsys):
+        out = tmp_path / "a5.btrace"
+        rc = main(["generate", "--profile", "A5", "--hours", "0.05",
+                   "--seed", "2", "-o", str(out), "--spool",
+                   "--spool-buffer", "256"])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "events spooled" in printed
+        assert "peak" in printed
+        assert len(read_binary(str(out))) > 0
+
+    def test_spool_output_matches_unspooled(self, tmp_path):
+        spooled = tmp_path / "s.btrace"
+        direct = tmp_path / "d.btrace"
+        common = ["generate", "--profile", "A5", "--hours", "0.05",
+                  "--seed", "2"]
+        assert main([*common, "-o", str(spooled), "--spool"]) == 0
+        assert main([*common, "-o", str(direct)]) == 0
+        assert spooled.read_bytes() == direct.read_bytes()
+
+    def test_spool_requires_btrace_output(self, tmp_path, capsys):
+        rc = main(["generate", "--profile", "A5", "--hours", "0.05",
+                   "-o", str(tmp_path / "a5.trace"), "--spool"])
+        assert rc == 2
+        assert ".btrace" in capsys.readouterr().err
+
+    def test_multi_seed_generates_one_file_per_seed(self, tmp_path):
+        out = tmp_path / "many.btrace"
+        rc = main(["generate", "--profile", "A5", "--hours", "0.05",
+                   "--seed", "10", "--seeds", "3", "--jobs", "2",
+                   "-o", str(out)])
+        assert rc == 0
+        for seed in (10, 11, 12):
+            path = tmp_path / f"many-s{seed}.btrace"
+            assert path.exists(), path
+            assert read_binary(str(path)).name == "A5"
+
+    def test_multi_seed_seed_placeholder(self, tmp_path):
+        template = tmp_path / "t{seed}.btrace"
+        rc = main(["generate", "--profile", "A5", "--hours", "0.05",
+                   "--seeds", "2", "--spool", "-o", str(template)])
+        assert rc == 0
+        assert (tmp_path / "t0.btrace").exists()
+        assert (tmp_path / "t1.btrace").exists()
+
 
 class TestReadOnlyCommands:
     def test_stats(self, trace_file, capsys):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.cdf import Cdf
-from repro.analysis.report import render_cdf_ascii, render_cdf_points
+from repro.analysis.report import render_cdf_ascii, render_cdf_points, render_table
 from repro.clock import Clock
 from repro.trace.records import AccessMode
 from repro.unixfs.errors import EEXIST, EISDIR, ENOENT
@@ -30,6 +30,31 @@ class TestRenderHelpers:
             cdf, [1024.0], "size", x_format=lambda x: f"{x / 1024:.0f}K"
         )
         assert "1K" in text
+
+    def test_render_table_with_no_rows(self):
+        text = render_table(("name", "count"), [], title="empty table")
+        lines = text.splitlines()
+        assert lines[0] == "empty table"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert len(lines) == 3  # title, header, rule — no data rows
+
+    def test_render_table_no_rows_no_title(self):
+        text = render_table(("only",), [])
+        assert text.splitlines()[0].strip() == "only"
+
+    def test_single_point_cdf_ascii(self):
+        cdf = Cdf.from_samples([5.0])
+        text = render_cdf_ascii(cdf, [5.0], "x", width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + the one grid row
+        assert "100.0%" in lines[1]
+        assert lines[1].count("#") == 10
+
+    def test_single_point_cdf_points(self):
+        cdf = Cdf.from_samples([5.0])
+        text = render_cdf_points(cdf, [4.0, 5.0], "x")
+        assert "0.0%" in text
+        assert "100.0%" in text
 
 
 class TestFileSystemEdges:

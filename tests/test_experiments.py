@@ -7,7 +7,7 @@ from repro.experiments import REGISTRY, all_ids, get, paper_vs_measured, run_all
 EXPECTED_IDS = {
     "table1", "table3", "table4", "table5", "table6", "table7",
     "fig1", "fig2", "fig3", "fig4", "fig7", "intervals", "residency",
-    "burstiness", "metadata", "exposure", "netfs",
+    "burstiness", "metadata", "exposure", "netfs", "section7",
 }
 
 

@@ -110,6 +110,20 @@ class TestPackedStream:
         assert after is not before
         assert len(after) >= len(before)
 
+    def test_in_place_replacement_invalidates_memo(self, small_trace):
+        # Same length, same list object — only one element swapped for a
+        # different event.  The stamp's id-sum term must catch this.
+        import copy
+        import dataclasses
+
+        log = copy.deepcopy(small_trace)
+        before = cached_stream(log)
+        original = log.events[-1]  # keep alive so ids cannot collide
+        log.events[-1] = dataclasses.replace(original)
+        assert log.events[-1] is not original
+        after = cached_stream(log)
+        assert after is not before
+
 
 # ---------------------------------------------------------------------------
 # simulate_packed vs the reference simulator

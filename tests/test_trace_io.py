@@ -4,7 +4,15 @@ import io
 
 import pytest
 
-from repro.trace.io_binary import BinaryTraceError, read_binary, write_binary
+from repro.trace.columns import TraceColumns
+from repro.trace.io_binary import (
+    MAX_TRACE_TIME,
+    BinaryTraceError,
+    BinaryTraceWriter,
+    read_binary,
+    write_binary,
+    write_binary_columns,
+)
 from repro.trace.io_text import (
     TraceFormatError,
     format_event,
@@ -130,3 +138,63 @@ class TestBinaryFormat:
         loaded = read_binary(buf)
         assert loaded.name == "empty"
         assert len(loaded) == 0
+
+
+class TestTimeEncoding:
+    """The u32 centisecond field: overflow rejection and quantization."""
+
+    @staticmethod
+    def _log_at(time: float) -> TraceLog:
+        return TraceLog.from_events(
+            [UnlinkEvent(time=time, file_id=1)], name="clock"
+        )
+
+    def test_max_time_round_trips(self):
+        buf = io.BytesIO()
+        write_binary(self._log_at(MAX_TRACE_TIME), buf)
+        buf.seek(0)
+        assert read_binary(buf).events[0].time == pytest.approx(
+            MAX_TRACE_TIME
+        )
+
+    def test_overflowing_time_rejected(self):
+        with pytest.raises(BinaryTraceError, match="centisecond"):
+            write_binary(self._log_at(MAX_TRACE_TIME + 0.01), io.BytesIO())
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(BinaryTraceError, match="centisecond"):
+            write_binary(self._log_at(-1.0), io.BytesIO())
+
+    def test_columns_writer_rejects_overflow_too(self):
+        cols = TraceColumns.from_log(self._log_at(MAX_TRACE_TIME + 1.0))
+        with pytest.raises(BinaryTraceError, match="centisecond"):
+            write_binary_columns(cols, io.BytesIO())
+
+    def test_incremental_writer_rejects_overflow_too(self):
+        with BinaryTraceWriter(io.BytesIO(), name="t") as writer:
+            with pytest.raises(BinaryTraceError, match="centisecond"):
+                writer.write(UnlinkEvent(time=MAX_TRACE_TIME + 1.0, file_id=1))
+
+    def test_error_names_the_offending_time(self):
+        with pytest.raises(BinaryTraceError, match="rebase the trace clock"):
+            write_binary(self._log_at(1e12), io.BytesIO())
+
+    def test_round_trip_keeps_times_monotone_at_10ms_boundary(self):
+        # Times already on the 10 ms grid can still differ in the last
+        # bit from the decoded cs/100.0 value; what must hold is that a
+        # non-decreasing trace stays non-decreasing after a round trip,
+        # and that a second round trip is byte-identical to the first.
+        times = [round(k * 0.01, 10) for k in range(0, 2000, 7)]
+        log = TraceLog.from_events(
+            [UnlinkEvent(time=t, file_id=k) for k, t in enumerate(times)],
+            name="grid",
+        )
+        buf = io.BytesIO()
+        write_binary(log, buf)
+        buf.seek(0)
+        once = read_binary(buf)
+        decoded = [e.time for e in once.events]
+        assert all(a <= b for a, b in zip(decoded, decoded[1:]))
+        again = io.BytesIO()
+        write_binary(once, again)
+        assert again.getvalue() == buf.getvalue()

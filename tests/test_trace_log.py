@@ -56,6 +56,29 @@ class TestFromEvents:
         assert log.name == "X"
         assert log.description == "d"
 
+    def test_same_time_events_keep_input_order(self):
+        # The sort must be stable: an open and its same-tick close arrive
+        # in causal order and must stay that way.
+        events = [
+            _open(1.0),
+            CloseEvent(time=1.0, open_id=1, final_pos=0),
+            UnlinkEvent(time=1.0, file_id=1),
+        ]
+        log = TraceLog.from_events(events)
+        assert log.events == events
+
+    def test_same_time_block_keeps_order_after_sorting(self):
+        # Even when out-of-order events elsewhere force a real sort, the
+        # equal-time block must preserve its relative input order.
+        tied = [
+            _open(2.0),
+            CloseEvent(time=2.0, open_id=1, final_pos=0),
+            UnlinkEvent(time=2.0, file_id=1),
+        ]
+        log = TraceLog.from_events([*tied, UnlinkEvent(time=1.0, file_id=9)])
+        assert log.events[0].time == 1.0
+        assert log.events[1:] == tied
+
 
 class TestDerived:
     def test_empty_log_properties(self):

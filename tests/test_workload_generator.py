@@ -10,7 +10,13 @@ from repro.trace.validate import validate
 from repro.unixfs.filesystem import FileSystem
 from repro.unixfs.geometry import Geometry
 from repro.workload.distributions import BurstyThinkTime
-from repro.workload.generator import generate, generate_trace
+from repro.trace.io_binary import read_binary, write_binary
+from repro.workload.generator import (
+    SpoolSummary,
+    generate,
+    generate_many,
+    generate_trace,
+)
 from repro.workload.namespace import NamespaceConfig, build_namespace
 from repro.workload.profiles import PROFILES, UCBARPA, UCBCAD, UCBERNIE, MachineProfile
 
@@ -141,3 +147,55 @@ class TestGenerator:
             log = generate_trace(profile, seed=2, duration=120.0)
             assert validate(log).ok
             assert len(log) > 0
+
+
+class TestSpooledGeneration:
+    def test_spool_writes_identical_file_with_bounded_memory(self, tmp_path):
+        import io
+
+        reference = generate(UCBARPA, seed=9, duration=300.0)
+        path = tmp_path / "spooled.btrace"
+        result = generate(UCBARPA, seed=9, duration=300.0, spool=str(path),
+                          spool_buffer=64)
+        assert result.trace is None
+        assert result.spool_path == str(path)
+        assert result.events_spooled == len(reference.trace)
+        # O(buffer) memory: never more than the buffer resident at once.
+        assert 0 < result.peak_buffered <= 64
+        buf = io.BytesIO()
+        write_binary(reference.trace, buf)
+        assert path.read_bytes() == buf.getvalue()
+
+    def test_spooled_trace_reads_back(self, tmp_path):
+        path = tmp_path / "a.btrace"
+        generate(UCBARPA, seed=4, duration=120.0, spool=str(path))
+        log = read_binary(str(path))
+        assert log.name == "A5"
+        assert validate(log).ok
+
+
+class TestGenerateMany:
+    def test_parallel_matches_serial(self):
+        pairs = [(UCBARPA, 1), (UCBERNIE, 1), (UCBARPA, 2)]
+        serial = generate_many(pairs, duration=60.0, jobs=1)
+        parallel = generate_many(pairs, duration=60.0, jobs=3)
+        assert [t.events for t in serial] == [t.events for t in parallel]
+        assert [t.name for t in serial] == ["A5", "E3", "A5"]
+
+    def test_spooled_outputs(self, tmp_path):
+        pairs = [(UCBARPA, 1), (UCBCAD, 2)]
+        outputs = [str(tmp_path / "a.btrace"), str(tmp_path / "c.btrace")]
+        summaries = generate_many(pairs, duration=60.0, jobs=2,
+                                  outputs=outputs, spool_buffer=128)
+        assert all(isinstance(s, SpoolSummary) for s in summaries)
+        assert [s.trace_name for s in summaries] == ["A5", "C4"]
+        assert [s.seed for s in summaries] == [1, 2]
+        for summary, path in zip(summaries, outputs):
+            assert summary.path == path
+            log = read_binary(path)
+            assert len(log) == summary.events
+            assert summary.peak_buffered <= 128
+
+    def test_output_count_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="outputs"):
+            generate_many([(UCBARPA, 1)], outputs=[])
