@@ -59,6 +59,7 @@ from .trace import (
     read_binary,
     read_text,
     validate,
+    validate_columns,
     write_binary,
     write_text,
 )
@@ -90,6 +91,7 @@ __all__ = [
     "read_binary",
     "write_binary",
     "validate",
+    "validate_columns",
     "compute_stats",
     # workload
     "generate",

@@ -49,6 +49,24 @@ class _Entry:
 class BlockCacheSimulator:
     """One cache configuration, replayable over a stream."""
 
+    __slots__ = (
+        "block_size",
+        "capacity_blocks",
+        "policy",
+        "replacement",
+        "read_elision",
+        "invalidate_on_delete",
+        "metrics",
+        "checkpoint",
+        "residency",
+        "exposure",
+        "_dirty_count",
+        "_cache",
+        "_by_file",
+        "_known_size",
+        "_now",
+    )
+
     def __init__(
         self,
         cache_bytes: int,
@@ -154,7 +172,7 @@ class BlockCacheSimulator:
         if not blocks:
             return
         first_dead = -(-from_byte // self.block_size)
-        doomed = [b for b in blocks if b >= first_dead]
+        doomed = sorted(b for b in blocks if b >= first_dead)
         for block in doomed:
             entry = self._remove((file_id, block))
             self.metrics.invalidated_blocks += 1

@@ -10,6 +10,7 @@ Subcommands::
     repro-fs sweep     a5.trace [--kind policy|blocksize|paging]
     repro-fs experiment a5.trace --id table6   (or --all)
     repro-fs convert-strace strace.log -o out.trace
+    repro-fs lint src tests --format json --baseline .statics-baseline.json
 
 Traces are stored in the binary format when the filename ends in ``.btrace``
 and the text format otherwise.
@@ -20,6 +21,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
 from ..analysis import (
     analyze_activity,
@@ -190,7 +192,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    report = validate(_load_trace(args.trace))
+    if args.trace.endswith(".btrace"):
+        # Columnar path: validate straight off the column arrays (plus
+        # the storage-level u32-time/flag-byte checks), never building
+        # per-event objects.
+        from ..trace.io_binary import read_binary_columns
+
+        subject = read_binary_columns(args.trace)
+    else:
+        subject = _load_trace(args.trace)
+    report = validate(subject, max_problems=args.max_problems)
     print(report)
     for problem in report.problems:
         print(f"  {problem}")
@@ -402,6 +413,71 @@ def _cmd_system(args: argparse.Namespace) -> int:
     return 0
 
 
+def _statics_config() -> dict:
+    """`[tool.repro.statics]` from the nearest pyproject.toml, if any.
+
+    Supplies *defaults* for `repro-fs lint` (explicit flags win).  Needs
+    tomllib (3.11+); on 3.10 the config is simply not consulted, which
+    only affects defaults — CI passes --baseline and paths explicitly.
+    """
+    try:
+        import tomllib
+    except ImportError:
+        return {}
+    directory = Path.cwd()
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if not pyproject.is_file():
+            continue
+        try:
+            with open(pyproject, "rb") as fh:
+                data = tomllib.load(fh)
+        except (OSError, tomllib.TOMLDecodeError):
+            return {}
+        config = data.get("tool", {}).get("repro", {}).get("statics", {})
+        if config:
+            # Paths in the config are relative to the pyproject's dir.
+            config = dict(config, root=candidate)
+        return config
+    return {}
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from ..statics import (
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        rule_catalog,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule_id, severity, title in rule_catalog():
+            print(f"{rule_id}  {severity:7s}  {title}")
+        return 0
+    config = _statics_config()
+    root = config.get("root")
+    paths = args.paths
+    if not paths:
+        configured = [root / p for p in config.get("paths", [])] if root else []
+        paths = [p for p in configured if p.exists()] or ["src"]
+    baseline_path = args.baseline
+    if baseline_path is None and root is not None and "baseline" in config:
+        candidate = root / config["baseline"]
+        if candidate.is_file():
+            baseline_path = candidate
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    report = lint_paths(paths, baseline=baseline)
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report.findings)
+        print(f"wrote {args.write_baseline} ({count} grandfathered finding(s))")
+        return 0
+    render = render_json if args.format == "json" else render_text
+    print(render(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_convert_strace(args: argparse.Namespace) -> int:
     log, stats = convert_file(args.strace_log, name=args.name)
     _save_trace(log, args.output)
@@ -450,6 +526,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="check trace integrity")
     p.add_argument("trace")
+    p.add_argument("--max-problems", type=_positive_int, default=50,
+                   help="cap on reported problems before truncation")
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("analyze", help="reference-pattern analysis")
@@ -572,6 +650,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--id", default=None)
     p.add_argument("--all", action="store_true")
     p.set_defaults(func=_cmd_system)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST invariant linter (determinism, parallel-safety, "
+        "hot-path hygiene, trace-schema drift)",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to lint (default: the "
+        "[tool.repro.statics] paths from pyproject.toml, else src)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="JSON baseline of grandfathered findings to ignore "
+        "(default: the [tool.repro.statics] baseline from pyproject.toml)",
+    )
+    p.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the current findings as a new baseline and exit 0",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("convert-strace", help="convert strace -f -ttt output")
     p.add_argument("strace_log")

@@ -52,6 +52,8 @@ class EventHandle:
 class EventLoop:
     """A monotonic, deterministic discrete-event scheduler."""
 
+    __slots__ = ("clock", "_heap", "_seq", "_fired")
+
     def __init__(self, clock: Clock | None = None):
         self.clock = clock if clock is not None else Clock()
         self._heap: list[EventHandle] = []

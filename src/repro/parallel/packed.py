@@ -57,7 +57,7 @@ KEY_SHIFT = 30
 _BLOCK_LIMIT = 1 << KEY_SHIFT
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PackedStream:
     """One item stream compiled for one block size.
 
@@ -164,7 +164,7 @@ def cached_packed_stream(
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PackedRun:
     """Result of one packed replay."""
 
@@ -266,7 +266,7 @@ def simulate_packed(
                     fid = key >> KEY_SHIFT
                     s = by_file.get(fid)
                     if s:
-                        doomed = [k for k in s if k >= key]
+                        doomed = sorted(k for k in s if k >= key)
                         if doomed:
                             for k in doomed:
                                 pop(k)
@@ -332,7 +332,7 @@ def simulate_packed(
                     fid = key >> KEY_SHIFT
                     s = by_file.get(fid)
                     if s:
-                        doomed = [k for k in s if k >= key]
+                        doomed = sorted(k for k in s if k >= key)
                         if doomed:
                             for k in doomed:
                                 pop(k)
@@ -381,7 +381,7 @@ def simulate_packed(
                     fid = key >> KEY_SHIFT
                     s = by_file.get(fid)
                     if s:
-                        doomed = [k for k in s if k >= key]
+                        doomed = sorted(k for k in s if k >= key)
                         if doomed:
                             for k in doomed:
                                 pop(k)

@@ -64,6 +64,8 @@ class _Slot:
 class StackCurve:
     """Per-cache-size metrics from one stack traversal."""
 
+    __slots__ = ("block_size", "cache_sizes", "_index", "_final", "_checkpoint")
+
     def __init__(
         self,
         block_size: int,
@@ -204,7 +206,7 @@ def simulate_stack(
             fid = key >> KEY_SHIFT
             live = by_file.get(fid)
             if live:
-                doomed = [k for k in live if k >= key]
+                doomed = sorted(k for k in live if k >= key)
                 for k in doomed:
                     slot = slots.pop(k)
                     h_inv[_region(slot)] += 1

@@ -1,0 +1,66 @@
+"""repro.statics — an AST-based invariant linter for this repository.
+
+The runtime correctness story (differential oracles, fsck after long
+syntheses) rests on invariants no oracle enforces: seeded randomness
+only, deterministic iteration order, picklable payloads across
+``repro.parallel``, hot-path classes with ``__slots__``, and the trace
+schema staying in lock-step across ``records.py`` / ``columns.py`` /
+``io_binary.py``.  This package makes each of those a static, CI-checked
+property.
+
+Entry points::
+
+    repro-fs lint src tests --format json --baseline .statics-baseline.json
+
+    from repro.statics import lint_paths
+    report = lint_paths(["src"])
+    assert report.ok
+
+Rule catalog (see DESIGN.md section 9 for the full prose):
+
+=========  ========  =====================================================
+id         severity  invariant
+=========  ========  =====================================================
+REP-D001   error     no wall-clock / OS-entropy reads in deterministic code
+REP-D002   error     no unseeded randomness (module-level ``random``)
+REP-D003   error     no bare-set iteration / bare ``popitem`` when order
+                     is pinned
+REP-P001   error     sweep-executor workers must pickle by reference
+REP-P002   error     workers must not mutate module-level state
+REP-H001   warning   hot-path classes must define ``__slots__``
+REP-H002   error     no float ``==``/``!=`` in simulator code
+REP-S001   error     trace schema agrees across records/columns/io_binary
+REP-A000   error     suppressions must name a rule id and a justification
+REP-E001   error     file fails to parse (engine-generated)
+=========  ========  =====================================================
+
+Findings are suppressed in place with
+``# repro: allow[RULE-ID] -- justification`` and grandfathered in bulk
+via a committed baseline file.
+"""
+
+from .baseline import load_baseline, write_baseline
+from .context import ModuleContext, module_name_for
+from .engine import LintReport, collect_files, lint_paths
+from .findings import Finding, Severity
+from .registry import CROSS_RULES, RULES, rule_catalog
+from .reporters import render_json, render_text
+from .rules_schema import check_trace_schema
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintReport",
+    "ModuleContext",
+    "module_name_for",
+    "collect_files",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "check_trace_schema",
+    "RULES",
+    "CROSS_RULES",
+]

@@ -1,0 +1,53 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry identifies a finding by its line-number-free
+fingerprint (see :attr:`repro.statics.findings.Finding.fingerprint`), so
+grandfathered findings survive edits that merely shift lines.  The file
+is JSON, sorted, and meant to be committed; regenerating it is
+``repro-fs lint --write-baseline PATH``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints grandfathered by the baseline file at *path*."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"unrecognized baseline file format in {path}")
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> int:
+    """Write *findings* as the new baseline; returns the entry count."""
+    entries = sorted(
+        (
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule_id,
+                "path": f.path,
+                "message": f.message,
+            }
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+    )
+    payload = {
+        "version": _VERSION,
+        "generated_by": "repro-fs lint --write-baseline",
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return len(entries)

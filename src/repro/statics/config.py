@@ -1,0 +1,65 @@
+"""Scope lists for the domain rules.
+
+The linter encodes *this repository's* invariants, so the scopes are
+named here rather than guessed per file.  Rules consult these tuples via
+:func:`in_packages`; tests monkeypatch them to point at fixture modules.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DETERMINISM_PACKAGES",
+    "ORDER_PINNED_PACKAGES",
+    "SIMULATOR_PACKAGES",
+    "HOT_MODULES",
+    "in_packages",
+]
+
+#: Packages whose output is pinned by differential oracles and the
+#: paper-figure reproductions: wall-clock reads and unseeded randomness
+#: here silently corrupt Figures between runs.
+DETERMINISM_PACKAGES: tuple[str, ...] = (
+    "repro.unixfs",
+    "repro.cache",
+    "repro.netfs",
+    "repro.workload",
+    "repro.analysis",
+)
+
+#: Packages whose *iteration order* feeds bit-identical comparisons
+#: (the one-pass analyzer and packed replayer are pinned to reference
+#: modules field by field).  Iterating a bare ``set`` there trades on
+#: hash order.
+ORDER_PINNED_PACKAGES: tuple[str, ...] = DETERMINISM_PACKAGES + (
+    "repro.parallel",
+    "repro.trace",
+)
+
+#: Simulator code where a float ``==``/``!=`` is a latent epsilon bug:
+#: simulated clocks are sums of float intervals.
+SIMULATOR_PACKAGES: tuple[str, ...] = (
+    "repro.cache",
+    "repro.netfs",
+    "repro.disk",
+    "repro.parallel",
+)
+
+#: Modules on replay/simulation hot paths: every class here must declare
+#: ``__slots__`` (directly or via ``@dataclass(slots=True)``) so
+#: per-instance dicts never show up millions of times in a sweep.
+HOT_MODULES: tuple[str, ...] = (
+    "repro.cache.simulator",
+    "repro.cache.stream",
+    "repro.parallel.packed",
+    "repro.parallel.stack",
+    "repro.netfs.events",
+    "repro.trace.columns",
+    "repro.trace.records",
+)
+
+
+def in_packages(module: str, packages: tuple[str, ...]) -> bool:
+    """True when dotted *module* is one of *packages* or inside one."""
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in packages
+    )

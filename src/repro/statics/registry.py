@@ -1,0 +1,87 @@
+"""The rule registry.
+
+Per-module rules receive a :class:`~repro.statics.context.ModuleContext`
+and yield findings.  Cross-artifact rules receive the whole set of
+scanned files — that is how the trace-schema drift check sees
+``records.py``, ``columns.py`` and ``io_binary.py`` together.
+
+Rules register themselves at import time via the decorators; the engine
+imports the rule modules and iterates :data:`RULES` / :data:`CROSS_RULES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+
+__all__ = [
+    "Rule",
+    "CrossRule",
+    "RULES",
+    "CROSS_RULES",
+    "rule",
+    "cross_rule",
+    "rule_catalog",
+]
+
+ModuleCheck = Callable[[ModuleContext], Iterator[Finding]]
+CrossCheck = Callable[[Iterable[Path]], Iterator[Finding]]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One per-module invariant check."""
+
+    id: str
+    title: str
+    severity: Severity
+    check: ModuleCheck
+
+
+@dataclass(frozen=True, slots=True)
+class CrossRule:
+    """One cross-artifact invariant check over the scanned file set."""
+
+    id: str
+    title: str
+    severity: Severity
+    check: CrossCheck
+
+
+RULES: dict[str, Rule] = {}
+CROSS_RULES: dict[str, CrossRule] = {}
+
+
+def rule(rule_id: str, title: str, severity: Severity = Severity.ERROR):
+    """Register a per-module rule; the decorated function is its check."""
+
+    def decorator(fn: ModuleCheck) -> ModuleCheck:
+        if rule_id in RULES or rule_id in CROSS_RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(rule_id, title, severity, fn)
+        return fn
+
+    return decorator
+
+
+def cross_rule(rule_id: str, title: str, severity: Severity = Severity.ERROR):
+    """Register a cross-artifact rule run once per lint invocation."""
+
+    def decorator(fn: CrossCheck) -> CrossCheck:
+        if rule_id in RULES or rule_id in CROSS_RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        CROSS_RULES[rule_id] = CrossRule(rule_id, title, severity, fn)
+        return fn
+
+    return decorator
+
+
+def rule_catalog() -> list[tuple[str, str, str]]:
+    """(id, severity, title) rows for every registered rule."""
+    rows = [(r.id, str(r.severity), r.title) for r in RULES.values()]
+    rows += [(r.id, str(r.severity), r.title) for r in CROSS_RULES.values()]
+    return sorted(rows)

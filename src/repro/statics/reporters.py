@@ -1,0 +1,47 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+from .findings import Severity
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport) -> str:
+    lines = [f.render() for f in sorted(report.findings, key=lambda f: f.sort_key())]
+    errors = sum(1 for f in report.findings if f.severity is Severity.ERROR)
+    warnings = len(report.findings) - errors
+    summary = (
+        f"{len(report.findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s)) in "
+        f"{report.files_scanned} file(s); "
+        f"{report.suppressed_count} suppressed, "
+        f"{report.baselined_count} baselined"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "version": 1,
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed_count,
+        "baselined": report.baselined_count,
+        "findings": [
+            {
+                "rule": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "severity": str(f.severity),
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in sorted(report.findings, key=lambda f: f.sort_key())
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,219 @@
+"""Determinism rules.
+
+Every figure and table this repository reproduces is pinned by
+differential oracles (one-pass analyzer vs. reference modules, packed
+replay vs. ``BlockCacheSimulator``), and those oracles assume the code
+under test is a pure function of the trace and the seed.  These rules
+make the assumption checkable:
+
+* ``REP-D001`` — no wall-clock or OS-entropy reads inside the
+  deterministic packages; simulated time comes from ``repro.clock``.
+* ``REP-D002`` — no *unseeded* randomness: calls on the ``random``
+  module draw from global interpreter state; components take their own
+  ``random.Random(seed)``.
+* ``REP-D003`` — no iteration over bare ``set`` values (hash order) and
+  no bare ``dict.popitem()`` in order-pinned code; wrap in ``sorted()``
+  or use an explicit order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import config
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .registry import rule
+
+__all__ = ["WALL_CLOCK_CALLS"]
+
+#: Dotted call origins that read the host clock or OS entropy.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: random-module entry points that are *not* the seeded-instance escape
+#: hatch (``random.Random(seed)``).
+_RANDOM_MODULE_PREFIXES = ("random.", "numpy.random.")
+_RANDOM_ALLOWED = frozenset({"random.Random", "numpy.random.Generator"})
+
+#: Order-insensitive consumers: a set iterated directly inside one of
+#: these calls cannot leak hash order into output.
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+)
+
+
+def _finding(
+    ctx: ModuleContext,
+    rule_id: str,
+    node: ast.AST,
+    severity: Severity,
+    message: str,
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        path=ctx.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        severity=severity,
+        message=message,
+    )
+
+
+@rule("REP-D001", "wall-clock or OS-entropy read in deterministic code")
+def check_wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
+    if not config.in_packages(ctx.module, config.DETERMINISM_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            continue
+        if resolved in WALL_CLOCK_CALLS or resolved.startswith("secrets."):
+            yield _finding(
+                ctx,
+                "REP-D001",
+                node,
+                Severity.ERROR,
+                f"call to `{resolved}` reads the host clock or OS entropy; "
+                "deterministic code must take time from `repro.clock` and "
+                "randomness from a seeded `random.Random`",
+            )
+
+
+@rule("REP-D002", "unseeded randomness in deterministic code")
+def check_unseeded_random(ctx: ModuleContext) -> Iterator[Finding]:
+    if not config.in_packages(ctx.module, config.DETERMINISM_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            continue
+        if resolved == "random.SystemRandom":
+            yield _finding(
+                ctx,
+                "REP-D002",
+                node,
+                Severity.ERROR,
+                "`random.SystemRandom` draws OS entropy and can never be "
+                "seeded; use `random.Random(seed)`",
+            )
+            continue
+        if resolved in _RANDOM_ALLOWED:
+            if not node.args and not node.keywords:
+                yield _finding(
+                    ctx,
+                    "REP-D002",
+                    node,
+                    Severity.ERROR,
+                    f"`{resolved}()` without a seed argument is seeded from "
+                    "OS entropy; pass an explicit seed",
+                )
+            continue
+        if any(resolved.startswith(p) for p in _RANDOM_MODULE_PREFIXES):
+            yield _finding(
+                ctx,
+                "REP-D002",
+                node,
+                Severity.ERROR,
+                f"module-level `{resolved}` draws from the global "
+                "interpreter RNG; use a component-owned "
+                "`random.Random(seed)` instance",
+            )
+
+
+def _iter_set_iterations(ctx: ModuleContext):
+    """(node, iter_expr) pairs for every for-loop / comprehension clause."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node, node.iter
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                yield node, gen.iter
+
+
+def _is_set_expr(ctx: ModuleContext, site: ast.AST, expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        return ctx.resolve(expr.func) in ("set", "frozenset")
+    if isinstance(expr, ast.Name):
+        return expr.id in ctx.set_typed_names(site)
+    return False
+
+
+def _consumed_order_insensitively(ctx: ModuleContext, node: ast.AST) -> bool:
+    """True when *node* (a comprehension/genexp) feeds sorted() et al."""
+    parent = ctx.parent(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        resolved = ctx.resolve(parent.func)
+        return resolved in _ORDER_INSENSITIVE_CALLS
+    return False
+
+
+@rule("REP-D003", "hash-order iteration in order-pinned code")
+def check_set_iteration(ctx: ModuleContext) -> Iterator[Finding]:
+    if not config.in_packages(ctx.module, config.ORDER_PINNED_PACKAGES):
+        return
+    for node, iter_expr in _iter_set_iterations(ctx):
+        if not _is_set_expr(ctx, node, iter_expr):
+            continue
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            if isinstance(node, (ast.SetComp,)):
+                continue  # a set built from a set stays orderless
+            if _consumed_order_insensitively(ctx, node):
+                continue
+        yield _finding(
+            ctx,
+            "REP-D003",
+            iter_expr,
+            Severity.ERROR,
+            "iteration over a bare `set` leaks hash order into "
+            "order-pinned code; wrap the iterable in `sorted(...)` or "
+            "keep an explicit order",
+        )
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "popitem"
+            and not node.args
+            and not node.keywords
+        ):
+            yield _finding(
+                ctx,
+                "REP-D003",
+                node,
+                Severity.ERROR,
+                "bare `.popitem()` removes an unspecified end on plain "
+                "dicts; use `OrderedDict.popitem(last=...)` or an "
+                "explicit key",
+            )

@@ -1,0 +1,149 @@
+"""Hot-path hygiene rules.
+
+* ``REP-H001`` — classes in the declared hot-module list
+  (:data:`repro.statics.config.HOT_MODULES`) must define ``__slots__``,
+  directly or via ``@dataclass(slots=True)``.  These classes are
+  instantiated per event or per cache block; a per-instance ``__dict__``
+  costs both memory and attribute-lookup time exactly where sweeps
+  spend their cycles.
+* ``REP-H002`` — float ``==``/``!=`` comparisons in simulator code are
+  errors.  Simulated clocks are running sums of float intervals; exact
+  equality against a float literal is a latent never-fires (or
+  always-fires) branch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import config
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .registry import rule
+
+#: Base classes that manage their own storage; requiring ``__slots__``
+#: on top of them is wrong or pointless.
+_EXEMPT_BASES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "Enum",
+        "IntEnum",
+        "StrEnum",
+        "Flag",
+        "IntFlag",
+        "NamedTuple",
+        "Protocol",
+        "TypedDict",
+    }
+)
+
+
+def _finding(
+    ctx: ModuleContext,
+    rule_id: str,
+    node: ast.AST,
+    severity: Severity,
+    message: str,
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        path=ctx.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        severity=severity,
+        message=message,
+    )
+
+
+def _base_name(base: ast.expr) -> str:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    if isinstance(base, ast.Subscript):
+        return _base_name(base.value)
+    return ""
+
+
+def _has_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            for kw in decorator.keywords:
+                if (
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+@rule(
+    "REP-H001",
+    "hot-path class without __slots__",
+    Severity.WARNING,
+)
+def check_slots(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.module not in config.HOT_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if any(_base_name(b) in _EXEMPT_BASES for b in node.bases):
+            continue
+        if any(kw.arg == "metaclass" for kw in node.keywords):
+            continue
+        if not _has_slots(node):
+            yield _finding(
+                ctx,
+                "REP-H001",
+                node,
+                Severity.WARNING,
+                f"class `{node.name}` in hot module `{ctx.module}` has no "
+                "`__slots__`; per-instance dicts are paid on every event "
+                "of every sweep — add `__slots__` or "
+                "`@dataclass(slots=True)`",
+            )
+
+
+@rule("REP-H002", "float equality comparison in simulator code")
+def check_float_equality(ctx: ModuleContext) -> Iterator[Finding]:
+    if not config.in_packages(ctx.module, config.SIMULATOR_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if isinstance(side, ast.Constant) and isinstance(
+                    side.value, float
+                ):
+                    yield _finding(
+                        ctx,
+                        "REP-H002",
+                        node,
+                        Severity.ERROR,
+                        f"exact float comparison against `{side.value!r}`; "
+                        "simulated clocks are float sums — compare with a "
+                        "tolerance or restructure the condition",
+                    )
+                    break

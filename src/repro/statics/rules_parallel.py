@@ -1,0 +1,255 @@
+"""Parallel-safety rules.
+
+``repro.parallel.executor.run_jobs`` ships its worker callable and
+payload to worker *processes*.  Two invariants follow:
+
+* ``REP-P001`` — the worker must be picklable by reference: a
+  module-level function.  Lambdas, closures defined inside functions and
+  bound methods pickle either not at all or by dragging their whole
+  enclosing object along; under the executor's graceful-degradation
+  contract they silently demote every sweep to serial, which is a
+  performance bug that no test fails on.
+* ``REP-P002`` — a worker function must not mutate module-level state.
+  Under ``fork`` each process mutates its private copy and the parent
+  never sees it; under threads it is a race.  Results must flow back
+  through return values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .registry import rule
+
+_SUBMIT_SUFFIX = ".run_jobs"
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+    }
+)
+
+
+def _finding(
+    ctx: ModuleContext, rule_id: str, node: ast.AST, message: str
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        path=ctx.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        severity=Severity.ERROR,
+        message=message,
+    )
+
+
+def _is_run_jobs_call(ctx: ModuleContext, node: ast.Call) -> bool:
+    resolved = ctx.resolve(node.func)
+    if resolved is None:
+        return False
+    return resolved == "run_jobs" or resolved.endswith(_SUBMIT_SUFFIX)
+
+
+def _worker_arg(node: ast.Call) -> ast.expr | None:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "worker":
+            return kw.value
+    return None
+
+
+def _nested_function_names(ctx: ModuleContext) -> set[str]:
+    """Names of functions defined inside another function."""
+    nested: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if ctx.enclosing_function(node) is not None:
+                nested.add(node.name)
+    return nested
+
+
+def _check_worker_expr(
+    ctx: ModuleContext, expr: ast.expr, nested: set[str]
+) -> Iterator[Finding]:
+    if isinstance(expr, ast.Lambda):
+        yield _finding(
+            ctx,
+            "REP-P001",
+            expr,
+            "lambda passed as a process-pool worker cannot be pickled; "
+            "the executor will silently fall back to serial — use a "
+            "module-level function",
+        )
+        return
+    if isinstance(expr, ast.Name):
+        if expr.id in nested and not ctx.is_module_level_name(expr.id):
+            yield _finding(
+                ctx,
+                "REP-P001",
+                expr,
+                f"worker `{expr.id}` is a function defined inside another "
+                "function; closures cannot be pickled to worker processes "
+                "— move it to module level",
+            )
+        return
+    if isinstance(expr, ast.Attribute):
+        resolved = ctx.resolve(expr)
+        if resolved is None:
+            yield _finding(
+                ctx,
+                "REP-P001",
+                expr,
+                f"worker `{ast.unparse(expr)}` is a bound method; pickling "
+                "it ships the whole instance (or fails outright) — use a "
+                "module-level function taking the instance via the payload",
+            )
+        return
+    if isinstance(expr, ast.Call):
+        resolved = ctx.resolve(expr.func)
+        if resolved in ("functools.partial", "partial") and expr.args:
+            yield from _check_worker_expr(ctx, expr.args[0], nested)
+
+
+@rule("REP-P001", "unpicklable worker passed to the sweep executor")
+def check_worker_picklability(ctx: ModuleContext) -> Iterator[Finding]:
+    nested: set[str] | None = None
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and _is_run_jobs_call(ctx, node)):
+            continue
+        if nested is None:
+            nested = _nested_function_names(ctx)
+        worker = _worker_arg(node)
+        if worker is not None:
+            yield from _check_worker_expr(ctx, worker, nested)
+
+
+def _worker_function_names(ctx: ModuleContext) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and _is_run_jobs_call(ctx, node):
+            worker = _worker_arg(node)
+            if isinstance(worker, ast.Name):
+                names.add(worker.id)
+    return names
+
+
+def _module_mutable_names(ctx: ModuleContext) -> set[str]:
+    """Module-level names bound to obviously mutable containers."""
+    mutable: set[str] = set()
+    for stmt in ctx.tree.body:
+        value = None
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            value, targets = stmt.value, list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value, targets = stmt.value, [stmt.target]
+        if value is None:
+            continue
+        is_container = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                    ast.SetComp)
+        ) or (
+            isinstance(value, ast.Call)
+            and ctx.resolve(value.func)
+            in (
+                "list",
+                "dict",
+                "set",
+                "bytearray",
+                "collections.defaultdict",
+                "defaultdict",
+                "collections.OrderedDict",
+                "OrderedDict",
+                "collections.Counter",
+                "Counter",
+                "collections.deque",
+                "deque",
+            )
+        )
+        if not is_container:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutable.add(target.id)
+    return mutable
+
+
+@rule("REP-P002", "worker function mutates module-level state")
+def check_worker_global_mutation(ctx: ModuleContext) -> Iterator[Finding]:
+    workers = _worker_function_names(ctx)
+    if not workers:
+        return
+    mutable = _module_mutable_names(ctx)
+    for node in ctx.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in workers:
+            continue
+        declared_global: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                declared_global.update(sub.names)
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                    ):
+                        yield _finding(
+                            ctx,
+                            "REP-P002",
+                            sub,
+                            f"worker `{node.name}` assigns module global "
+                            f"`{target.id}`; under fork each process "
+                            "mutates a private copy — return the value "
+                            "instead",
+                        )
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in mutable
+                    ):
+                        yield _finding(
+                            ctx,
+                            "REP-P002",
+                            sub,
+                            f"worker `{node.name}` writes into module-level "
+                            f"container `{target.value.id}`; worker "
+                            "processes never share it — return the value "
+                            "instead",
+                        )
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _MUTATING_METHODS
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id in mutable
+            ):
+                yield _finding(
+                    ctx,
+                    "REP-P002",
+                    sub,
+                    f"worker `{node.name}` calls `.{sub.func.attr}()` on "
+                    f"module-level container `{sub.func.value.id}`; worker "
+                    "processes never share it — return the value instead",
+                )

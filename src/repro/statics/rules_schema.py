@@ -1,0 +1,297 @@
+"""Trace-schema drift detection (cross-artifact).
+
+The trace schema lives in three places that must agree field-for-field:
+
+* ``trace/records.py`` — the event dataclasses (the schema of record);
+* ``trace/columns.py`` — the columnar view: ``TraceColumns.from_log``
+  must *read* every field, ``TraceColumns.event`` must *construct* with
+  every field;
+* ``trace/io_binary.py`` — the binary codec: ``_pack_event`` must read
+  every field, ``_unpack_event`` must construct with every field.
+
+A field added to a record but forgotten in a codec silently serializes
+to its default; a field removed from a record leaves a codec reading a
+ghost attribute.  Both went undetected until a runtime failure before —
+the u32 centisecond overflow was patched reactively for exactly this
+reason.  ``REP-S001`` turns the agreement into a CI property: it parses
+all three artifacts and reports any field present in one but missing
+from another, in either direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .findings import Finding, Severity
+from .registry import cross_rule
+
+__all__ = ["check_trace_schema", "TRACE_ARTIFACTS"]
+
+#: File names that make up one trace-schema artifact set (all three must
+#: sit in the same directory to be checked as a unit).
+TRACE_ARTIFACTS = ("records.py", "columns.py", "io_binary.py")
+
+
+@dataclass(slots=True)
+class _ClassUsage:
+    """How one artifact consumes one event class."""
+
+    reads: set[str] = field(default_factory=set)
+    constructed: set[str] = field(default_factory=set)
+    read_lines: dict[str, int] = field(default_factory=dict)
+    seen_in_branches: bool = False
+    seen_in_constructors: bool = False
+    branch_line: int = 1
+    constructor_line: int = 1
+
+
+def _event_classes(tree: ast.Module) -> dict[str, tuple[list[str], int]]:
+    """Event dataclasses: name -> (ordered field names, def line).
+
+    An event class is any class whose body assigns a ``kind`` tag —
+    the discriminator every codec branches on.
+    """
+    classes: dict[str, tuple[list[str], int]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        has_kind = any(
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "kind"
+                for t in stmt.targets
+            )
+            for stmt in node.body
+        )
+        if not has_kind:
+            continue
+        fields = [
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+        ]
+        classes[node.name] = (fields, node.lineno)
+    return classes
+
+
+def _isinstance_test(node: ast.expr, class_names: set[str]):
+    """``isinstance(var, Cls)`` -> (var name, class name), else None."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "isinstance"
+        and len(node.args) == 2
+        and isinstance(node.args[0], ast.Name)
+    ):
+        cls = node.args[1]
+        if isinstance(cls, ast.Name) and cls.id in class_names:
+            return node.args[0].id, cls.id
+    return None
+
+
+def _collect_usage(
+    tree: ast.Module, class_names: set[str]
+) -> dict[str, _ClassUsage]:
+    """Per-class attribute reads and constructor fields in one artifact."""
+    usage = {name: _ClassUsage() for name in class_names}
+
+    # Constructor calls anywhere in the module.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in class_names:
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr in class_names:
+            name = func.attr
+        if name is None:
+            continue
+        info = usage[name]
+        info.seen_in_constructors = True
+        info.constructor_line = node.lineno
+        for kw in node.keywords:
+            if kw.arg is not None:
+                info.constructed.add(kw.arg)
+        # Positional args map onto the record's field order; the caller
+        # resolves indices against the records schema.
+        info.constructed.update(
+            f"__pos{i}__" for i in range(len(node.args))
+        )
+
+    # isinstance-branch attribute reads, per function.
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        branches: list[tuple[str, str, ast.If]] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.If):
+                test = _isinstance_test(node.test, class_names)
+                if test is not None:
+                    branches.append((test[0], test[1], node))
+        if not branches:
+            continue
+        var_names = {var for var, _, _ in branches}
+        in_branch: set[ast.AST] = set()
+        for var, cls, if_node in branches:
+            info = usage[cls]
+            info.seen_in_branches = True
+            info.branch_line = if_node.lineno
+            for stmt in if_node.body:
+                for sub in ast.walk(stmt):
+                    in_branch.add(sub)
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == var
+                    ):
+                        info.reads.add(sub.attr)
+                        info.read_lines.setdefault(sub.attr, sub.lineno)
+        # Reads outside every branch (e.g. `times[i] = event.time` before
+        # the dispatch) apply to all classes tested in this function.
+        tested = {cls for _, cls, _ in branches}
+        for sub in ast.walk(fn):
+            if sub in in_branch:
+                continue
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in var_names
+            ):
+                for cls in tested:
+                    usage[cls].reads.add(sub.attr)
+                    usage[cls].read_lines.setdefault(sub.attr, sub.lineno)
+    return usage
+
+
+def _resolve_positionals(
+    constructed: set[str], fields: list[str]
+) -> set[str]:
+    resolved = set()
+    for item in constructed:
+        if item.startswith("__pos") and item.endswith("__"):
+            index = int(item[5:-2])
+            if index < len(fields):
+                resolved.add(fields[index])
+        else:
+            resolved.add(item)
+    return resolved
+
+
+def check_trace_schema(
+    records_path: Path, columns_path: Path, io_binary_path: Path
+) -> Iterator[Finding]:
+    """Cross-check the three schema artifacts; yield drift findings."""
+
+    def _parse(path: Path) -> ast.Module:
+        return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+    records_tree = _parse(records_path)
+    classes = _event_classes(records_tree)
+    if not classes:
+        yield Finding(
+            rule_id="REP-S001",
+            path=str(records_path),
+            line=1,
+            col=1,
+            severity=Severity.ERROR,
+            message="no event classes (classes with a `kind` tag) found in "
+            "the records artifact",
+        )
+        return
+    class_names = set(classes)
+
+    consumers = (
+        (columns_path, "TraceColumns.from_log", "TraceColumns.event"),
+        (io_binary_path, "_pack_event", "_unpack_event"),
+    )
+    for path, reader_name, builder_name in consumers:
+        usage = _collect_usage(_parse(path), class_names)
+        for cls, (fields, _line) in classes.items():
+            info = usage[cls]
+            if not info.seen_in_branches:
+                yield Finding(
+                    rule_id="REP-S001",
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    severity=Severity.ERROR,
+                    message=f"event class `{cls}` is never dispatched on "
+                    f"(no isinstance branch) in this artifact; "
+                    f"`{reader_name}` cannot encode it",
+                )
+            if not info.seen_in_constructors:
+                yield Finding(
+                    rule_id="REP-S001",
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    severity=Severity.ERROR,
+                    message=f"event class `{cls}` is never constructed in "
+                    f"this artifact; `{builder_name}` cannot decode it",
+                )
+            field_set = set(fields)
+            constructed = _resolve_positionals(info.constructed, fields)
+            if info.seen_in_branches:
+                for missing in sorted(field_set - info.reads):
+                    yield Finding(
+                        rule_id="REP-S001",
+                        path=str(path),
+                        line=info.branch_line,
+                        col=1,
+                        severity=Severity.ERROR,
+                        message=f"field `{missing}` of `{cls}` is never "
+                        f"read by `{reader_name}`; the codec would "
+                        "silently drop it",
+                    )
+                for unknown in sorted(info.reads - field_set):
+                    yield Finding(
+                        rule_id="REP-S001",
+                        path=str(path),
+                        line=info.read_lines.get(unknown, info.branch_line),
+                        col=1,
+                        severity=Severity.ERROR,
+                        message=f"`{reader_name}` reads `{cls}.{unknown}`, "
+                        "which is not a field of the record; the schema "
+                        "has drifted",
+                    )
+            if info.seen_in_constructors:
+                for missing in sorted(field_set - constructed):
+                    yield Finding(
+                        rule_id="REP-S001",
+                        path=str(path),
+                        line=info.constructor_line,
+                        col=1,
+                        severity=Severity.ERROR,
+                        message=f"field `{missing}` of `{cls}` is never "
+                        f"passed by `{builder_name}`; decoded events "
+                        "would silently take the default",
+                    )
+                for unknown in sorted(constructed - field_set):
+                    yield Finding(
+                        rule_id="REP-S001",
+                        path=str(path),
+                        line=info.constructor_line,
+                        col=1,
+                        severity=Severity.ERROR,
+                        message=f"`{builder_name}` passes `{unknown}` to "
+                        f"`{cls}`, which is not a field of the record; "
+                        "the schema has drifted",
+                    )
+
+
+@cross_rule("REP-S001", "trace-schema drift between records and codecs")
+def check_schema_drift(paths: Iterable[Path]) -> Iterator[Finding]:
+    by_dir: dict[Path, dict[str, Path]] = {}
+    for path in paths:
+        if path.name in TRACE_ARTIFACTS:
+            by_dir.setdefault(path.parent, {})[path.name] = path
+    for directory, found in sorted(by_dir.items()):
+        if len(found) == len(TRACE_ARTIFACTS):
+            yield from check_trace_schema(
+                found["records.py"], found["columns.py"], found["io_binary.py"]
+            )

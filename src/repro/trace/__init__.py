@@ -34,7 +34,7 @@ from .records import (
     quantize_time,
 )
 from .stats import TraceStats, compute_stats, total_bytes_transferred
-from .validate import ValidationReport, validate
+from .validate import ValidationReport, validate, validate_columns
 
 __all__ = [
     "AccessMode",
@@ -61,6 +61,7 @@ __all__ = [
     "TraceColumns",
     "cached_columns",
     "validate",
+    "validate_columns",
     "ValidationReport",
     "compute_stats",
     "TraceStats",
