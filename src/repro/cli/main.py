@@ -4,13 +4,22 @@ Subcommands::
 
     repro-fs generate  --profile A5 --hours 4 --seed 1 -o a5.trace
     repro-fs stats     a5.trace
-    repro-fs validate  a5.trace
+    repro-fs validate  a5.trace [--max-problems N]
     repro-fs analyze   a5.trace [--report activity|sequentiality|...]
     repro-fs simulate  a5.trace --cache-mb 4 --block-size 4096 --policy delayed-write
     repro-fs sweep     a5.trace [--kind policy|blocksize|paging]
+    repro-fs twolevel  a5.trace --client-kb 512 --server-mb 16
+    repro-fs netfs     [a5.trace] --clients 10 --protocol callbacks
+    repro-fs export-figures a5.trace -d figures
     repro-fs experiment a5.trace --id table6   (or --all)
+    repro-fs report    a5.trace -o report.md
+    repro-fs slice     a5.trace --start 0 --end 3600 -o hour1.trace
+    repro-fs filter    a5.trace --users 1,2 -o pair.trace
+    repro-fs merge     a.trace b.trace -o merged.trace
+    repro-fs system    --profile A5 --all
+    repro-fs lint      src tests --format json --baseline .statics-baseline.json
+    repro-fs fuzz      --seed 1 --budget 2000 [--corpus corpus/]
     repro-fs convert-strace strace.log -o out.trace
-    repro-fs lint src tests --format json --baseline .statics-baseline.json
 
 Traces are stored in the binary format when the filename ends in ``.btrace``
 and the text format otherwise.
@@ -62,7 +71,7 @@ from ..trace.io_binary import read_binary, write_binary
 from ..trace.io_text import read_text, write_text
 from ..trace.log import TraceLog
 from ..trace.stats import compute_stats
-from ..trace.validate import validate
+from ..trace.validate import DEFAULT_MAX_PROBLEMS, validate
 from ..workload.generator import generate, generate_many
 from ..workload.profiles import PROFILES
 
@@ -478,6 +487,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from ..fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        corpus=args.corpus,
+        time_budget=args.time_budget,
+    )
+    report = run_fuzz(config, progress=print)
+    for divergence in report.divergences:
+        print(divergence.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_convert_strace(args: argparse.Namespace) -> int:
     log, stats = convert_file(args.strace_log, name=args.name)
     _save_trace(log, args.output)
@@ -526,8 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="check trace integrity")
     p.add_argument("trace")
-    p.add_argument("--max-problems", type=_positive_int, default=50,
-                   help="cap on reported problems before truncation")
+    p.add_argument("--max-problems", type=_positive_int,
+                   default=DEFAULT_MAX_PROBLEMS,
+                   help="cap on reported problems before truncation "
+                   f"(default: {DEFAULT_MAX_PROBLEMS})")
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("analyze", help="reference-pattern analysis")
@@ -675,6 +701,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalog"
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing + fault injection across the pipeline "
+        "(syscall replay oracle, I/O/analysis/cache differentials, "
+        "corruption and netfs faults; failures shrink to a corpus)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; every round is a pure function of "
+                   "(seed, round index)")
+    p.add_argument("--budget", type=_positive_int, default=1000,
+                   help="work items to spend (syscalls executed, events "
+                   "through oracles, corruption cases)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="directory of shrunk repros: replayed first, and "
+                   "new failures are written here")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                   help="also stop at a wall-clock deadline (for CI)")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("convert-strace", help="convert strace -f -ttt output")
     p.add_argument("strace_log")

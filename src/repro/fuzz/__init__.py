@@ -1,0 +1,43 @@
+"""Differential fuzzing and fault injection for the whole pipeline.
+
+The repo's correctness story is a chain of bit-identical pairs: the
+event and columnar binary writers, the nine per-module analyzers versus
+:func:`~repro.analysis.onepass.analyze_onepass`, and
+:class:`~repro.cache.simulator.BlockCacheSimulator` versus the packed
+replayer and the Mattson LRU stack.  This package turns each asserted
+pair into a continuously machine-checked invariant over *generated*
+inputs:
+
+* :mod:`repro.fuzz.gen` — one seeded input model (random well-formed
+  traces and random-but-valid syscall sequences) shared by the fuzzer
+  and the hypothesis property tests;
+* :mod:`repro.fuzz.replay` — the kernel oracle: after every fuzzed
+  syscall the emitted Table II records must replay to the kernel's own
+  logical state, and ``fsck`` must stay clean;
+* :mod:`repro.fuzz.oracles` — the differential oracles over trace I/O,
+  analysis and cache simulation;
+* :mod:`repro.fuzz.faults` — :class:`FaultPlan` corruption of serialized
+  traces (truncation, bit flips, header lies) plus netfs fault injection
+  (dropped/duplicated RPCs, disk stalls) with a convergence check;
+* :mod:`repro.fuzz.shrink` — ddmin-style reduction of failing event and
+  op sequences, and the on-disk repro corpus;
+* :mod:`repro.fuzz.runner` — the budgeted driver behind ``repro-fs
+  fuzz``.
+"""
+
+from .faults import FaultPlan, NetfsFaults
+from .gen import SyscallOp, random_ops, random_trace
+from .oracles import Divergence
+from .runner import FuzzConfig, FuzzReport, run_fuzz
+
+__all__ = [
+    "Divergence",
+    "FaultPlan",
+    "FuzzConfig",
+    "FuzzReport",
+    "NetfsFaults",
+    "SyscallOp",
+    "random_ops",
+    "random_trace",
+    "run_fuzz",
+]

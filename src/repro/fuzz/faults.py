@@ -1,0 +1,352 @@
+"""Pillar 3: fault injection — corrupt artifacts and lossy networks.
+
+Two fault surfaces, both driven by deterministic seeded schedules:
+
+**Trace-file corruption** (:class:`FaultPlan`).  A pristine serialized
+trace is mutated — truncated mid-record, magic damaged, header count
+inflated, or a single bit flipped — and both decode paths are run on
+the result.  The contract has two tiers:
+
+* *guaranteed-detection* corruptions (truncation, bad magic, count
+  inflation, undefined flag bits) must be rejected by both readers with
+  a :class:`~repro.trace.io_binary.BinaryTraceError` diagnostic — never
+  a crash, never a silent success;
+* *arbitrary bit flips* may decode (a flipped position bit yields a
+  different but well-formed trace — undetectable in principle), but the
+  two readers must agree: both reject, or both accept with identical
+  events.  If exactly one side rejects, ``validate`` of the surviving
+  side's result (raw columns for the columnar reader, so flag-byte
+  damage is still visible) must report the damage — anything less is a
+  divergence.  This tier has already paid for itself: it caught the
+  columnar reader folding a flipped mode bit into the created/new-file
+  flags and decoding a *clean-looking different trace*, and an
+  ``OverflowError`` crash on set high bits of u64 fields.
+
+**netfs faults** (:class:`NetfsFaults`).  Installed into a
+:func:`~repro.netfs.simulator.simulate_netfs` run, drops the first
+deliveries of selected RPCs (the retransmit timer recovers them),
+re-delivers others (the server's duplicate-request cache absorbs them),
+and stretches disk service times.  Because clients submit open-loop at
+trace time, every *count* the clients produce is timing-independent —
+:func:`check_netfs_convergence` asserts the faulty run converges to the
+clean run's counters with zero RPC failures.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+import struct
+
+from ..trace.io_binary import (
+    MAGIC,
+    BinaryTraceError,
+    read_binary,
+    read_binary_columns,
+    write_binary,
+)
+from ..trace.log import TraceLog
+from ..trace.validate import validate
+
+__all__ = [
+    "FaultPlan",
+    "NetfsFaults",
+    "check_corruption",
+    "check_netfs_convergence",
+]
+
+_HEADER_STR = struct.Struct("<H")
+_HEADER_COUNT = struct.Struct("<Q")
+
+
+def _count_offset(data: bytes) -> int:
+    """Byte offset of the header's u64 event count."""
+    off = len(MAGIC)
+    (name_len,) = _HEADER_STR.unpack_from(data, off)
+    off += _HEADER_STR.size + name_len
+    (desc_len,) = _HEADER_STR.unpack_from(data, off)
+    off += _HEADER_STR.size + desc_len
+    return off
+
+
+class FaultPlan:
+    """A deterministic schedule of corruptions for one serialized trace."""
+
+    def __init__(self, seed: str, cases: int = 16):
+        self.seed = seed
+        self.cases = cases
+
+    def corruptions(self, data: bytes):
+        """Yield ``(label, corrupted_bytes, guaranteed)`` tuples.
+
+        ``guaranteed`` marks corruptions every reader must reject;
+        bit flips are checked for reader agreement instead.
+        """
+        rng = random.Random(f"faults:{self.seed}")
+        count_at = _count_offset(data)
+        body_start = count_at + _HEADER_COUNT.size
+
+        yield "empty file", b"", True
+        yield "magic damaged", bytes([data[0] ^ 0x40]) + data[1:], True
+        if len(data) > body_start:
+            cut = rng.randint(body_start, len(data) - 1)
+            yield f"truncated at byte {cut}", data[:cut], True
+            cut = rng.randint(1, body_start)
+            yield f"truncated in header at byte {cut}", data[:cut], True
+        (count,) = _HEADER_COUNT.unpack_from(data, count_at)
+        for label, lie in (
+            ("count inflated by one", count + 1),
+            ("count inflated 1000x", (count + 1) * 1000),
+            ("count inflated to 2^56", 1 << 56),
+        ):
+            yield (
+                label,
+                data[:count_at] + _HEADER_COUNT.pack(lie) + data[body_start:],
+                True,
+            )
+        remaining = self.cases - 7
+        for _ in range(max(remaining, 0)):
+            if len(data) <= body_start:
+                break
+            at = rng.randint(body_start, len(data) - 1)
+            bit = 1 << rng.randint(0, 7)
+            flipped = bytearray(data)
+            flipped[at] ^= bit
+            yield f"bit {bit:#04x} flipped at byte {at}", bytes(flipped), False
+
+
+def _decode_both(data: bytes):
+    """Run both readers; returns ((events|None, error), (columns|None, error)).
+
+    ``ValueError`` (which covers :class:`BinaryTraceError` and the
+    ``UnicodeDecodeError`` a damaged name field raises) counts as a
+    rejection-with-diagnostic.  Anything else — ``MemoryError`` from an
+    unchecked allocation, say — propagates to the caller as a finding.
+    The columnar side returns the raw :class:`TraceColumns` so the caller
+    can validate the columns themselves (flag bytes included), not just
+    their materialization.
+    """
+    try:
+        event_log = read_binary(io.BytesIO(data))
+        event_side = (event_log.events, None)
+    except ValueError as exc:
+        event_side = (None, exc)
+    try:
+        cols = read_binary_columns(io.BytesIO(data))
+        col_side = (cols, None)
+    except ValueError as exc:
+        col_side = (None, exc)
+    return event_side, col_side
+
+
+def check_corruption(log: TraceLog, plan: FaultPlan) -> tuple[str | None, int]:
+    """Apply *plan* to *log*'s serialization; returns (divergence, cases run)."""
+    buf = io.BytesIO()
+    write_binary(log, buf)
+    pristine = buf.getvalue()
+    cases = 0
+    for label, corrupted, guaranteed in plan.corruptions(pristine):
+        cases += 1
+        try:
+            (event_events, event_err), (col_cols, col_err) = _decode_both(corrupted)
+        except Exception as exc:  # noqa: BLE001 - any crash is the finding
+            return (
+                f"decoding a corrupted trace ({label}) crashed with "
+                f"{type(exc).__name__}: {exc}",
+                cases,
+            )
+        if guaranteed:
+            for reader, err in (("read_binary", event_err),
+                                ("read_binary_columns", col_err)):
+                if err is None:
+                    return (
+                        f"{reader} accepted a corrupted trace ({label}) "
+                        "that must be rejected",
+                        cases,
+                    )
+                if not isinstance(err, BinaryTraceError):
+                    return (
+                        f"{reader} rejected a corrupted trace ({label}) with "
+                        f"{type(err).__name__} instead of a BinaryTraceError "
+                        "diagnostic",
+                        cases,
+                    )
+            continue
+        # Bit flips: the two readers must tell the same story.
+        if (event_err is None) and (col_err is None):
+            try:
+                materialized = col_cols.to_log().events
+            except ValueError as exc:
+                return (
+                    f"read_binary_columns accepted a bit-flipped trace "
+                    f"({label}) whose own to_log() then rejected it: {exc}",
+                    cases,
+                )
+            if event_events != materialized:
+                return (
+                    f"readers disagree on a bit-flipped trace ({label}): "
+                    "both accepted but decoded different events",
+                    cases,
+                )
+            report = validate(TraceLog(name=log.name, events=event_events))
+            _ = report.ok  # must complete without raising; verdict may be either
+        elif (event_err is None) != (col_err is None):
+            # One side rejected.  Both readers apply the same field checks
+            # today, so this branch firing usually IS the finding — unless
+            # the surviving side's validator can still see the damage
+            # (validate dispatches TraceColumns to validate_columns, which
+            # inspects the raw flag bytes the event reader never keeps).
+            if event_err is None:
+                report = validate(TraceLog(name=log.name, events=event_events))
+            else:
+                report = validate(col_cols)
+            if report.ok:
+                return (
+                    f"readers disagree on a bit-flipped trace ({label}): one "
+                    "rejected, the other accepted a trace validate calls clean",
+                    cases,
+                )
+    return None, cases
+
+
+# -- netfs fault injection -----------------------------------------------------
+
+
+class _StallingDisk:
+    """Wraps a :class:`~repro.disk.model.DiskModel`, stretching selected
+    service times by a deterministic per-visit schedule."""
+
+    def __init__(self, disk, rng: random.Random, stall_rate: float, stall_s: float):
+        self._disk = disk
+        self._rng = rng
+        self._stall_rate = stall_rate
+        self._stall_s = stall_s
+        self.stalls_injected = 0
+
+    def service_time(self, nbytes: int) -> float:
+        base = self._disk.service_time(nbytes)
+        if self._rng.random() < self._stall_rate:
+            self.stalls_injected += 1
+            return base + self._stall_s
+        return base
+
+    def __getattr__(self, name):
+        return getattr(self._disk, name)
+
+
+class NetfsFaults:
+    """Deterministic RPC drops, duplicate deliveries and disk stalls.
+
+    Passed to ``simulate_netfs(..., faults=...)``; :meth:`install` wraps
+    the server's ``receive`` and disk model.  Drop decisions hash the
+    ``rpc_id`` with the seed, so they are independent of delivery order;
+    at most ``max_drops`` deliveries of one RPC are ever dropped, which
+    stays below the RPC layer's retry limit — recovery is guaranteed.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_rate: float = 0.15,
+        dup_rate: float = 0.10,
+        max_drops: int = 2,
+        stall_rate: float = 0.10,
+        stall_s: float = 0.02,
+    ):
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.dup_rate = dup_rate
+        self.max_drops = max_drops
+        self.stall_rate = stall_rate
+        self.stall_s = stall_s
+        self.drops_injected = 0
+        self.dups_injected = 0
+        self._deliveries: dict[int, int] = {}
+        self._disk: _StallingDisk | None = None
+
+    def _die(self, rpc_id: int, purpose: str) -> float:
+        return random.Random(f"netfs:{self.seed}:{purpose}:{rpc_id}").random()
+
+    @property
+    def stalls_injected(self) -> int:
+        return self._disk.stalls_injected if self._disk is not None else 0
+
+    def install(self, server) -> None:
+        """Interpose on *server*'s request intake and disk."""
+        self._disk = _StallingDisk(
+            server.disk,
+            random.Random(f"netfs:{self.seed}:stall"),
+            self.stall_rate,
+            self.stall_s,
+        )
+        server.disk = self._disk
+        real_receive = server.receive
+
+        def receive(rpc) -> bool:
+            seen = self._deliveries.get(rpc.rpc_id, 0)
+            self._deliveries[rpc.rpc_id] = seen + 1
+            if (
+                seen < self.max_drops
+                and self._die(rpc.rpc_id, "drop") < self.drop_rate
+            ):
+                # Lost on the wire: the sender's timer discovers it.
+                self.drops_injected += 1
+                return False
+            if self._die(rpc.rpc_id, "dup") < self.dup_rate:
+                # The frame arrives twice; the duplicate-request cache
+                # must absorb the echo.
+                self.dups_injected += 1
+                real_receive(rpc)
+            return real_receive(rpc)
+
+        server.receive = receive
+
+
+#: NetfsResult fields that cannot depend on timing: clients submit
+#: open-loop at trace time, so everything they *count* (as opposed to
+#: how long it took) is fixed by the trace alone.
+_CONVERGENT_FIELDS = (
+    "clients",
+    "protocol",
+    "requests",
+    "local_hits",
+    "rpcs",
+)
+
+
+def check_netfs_convergence(log: TraceLog, seed: int = 0, **fault_kwargs) -> str | None:
+    """Clean run vs faulty run: same converged counters, zero failures."""
+    from ..netfs.simulator import simulate_netfs
+
+    clean = simulate_netfs(log, seed=seed)
+    faults = NetfsFaults(seed=seed, **fault_kwargs)
+    faulty = simulate_netfs(log, seed=seed, faults=faults)
+
+    if faulty.failures:
+        return (
+            f"netfs faults caused {faulty.failures} RPC failure(s); bounded "
+            "drops must always be recovered by retry/backoff"
+        )
+    for name in _CONVERGENT_FIELDS:
+        a, b = getattr(clean, name), getattr(faulty, name)
+        if a != b:
+            return (
+                f"netfs did not converge under faults: {name} is {a} clean "
+                f"but {b} faulty"
+            )
+    if clean.client_metrics != faulty.client_metrics:
+        return (
+            "netfs did not converge under faults: client cache metrics "
+            "differ between the clean and faulty runs"
+        )
+    if clean.consistency != faulty.consistency:
+        return (
+            "netfs did not converge under faults: consistency message "
+            "counts differ between the clean and faulty runs"
+        )
+    if faults.drops_injected and faulty.retries < faults.drops_injected:
+        return (
+            f"{faults.drops_injected} deliveries dropped but only "
+            f"{faulty.retries} retransmissions observed"
+        )
+    return None

@@ -95,12 +95,21 @@ def simulate_netfs(
     client_overhead_s: float = 0.0002,
     load_scale: int = 1,
     seed: int = 0,
+    faults=None,
 ) -> NetfsResult:
     """Simulate *log*'s transfers through clients, Ethernet, RPC, server.
 
     ``protocol`` is ``"callbacks"`` (write-through with server
     callbacks) or ``"ownership"`` (Sprite-style invalidate leases); see
     :mod:`repro.netfs.consistency`.
+
+    ``faults`` optionally injects failures: any object with an
+    ``install(server)`` method (see
+    :class:`repro.fuzz.faults.NetfsFaults`) gets to interpose on the
+    server's request intake and disk model before the run starts —
+    dropped or duplicated request frames and stretched disk service
+    times, which the RPC retry/backoff and duplicate-request cache must
+    absorb.
     """
     try:
         protocol_cls = PROTOCOLS[protocol]
@@ -124,6 +133,8 @@ def simulate_netfs(
         queue_limit=server_queue_limit,
         cpu_overhead_s=server_cpu_s,
     )
+    if faults is not None:
+        faults.install(server)
     rpc_layer = RpcLayer(loop, ether, server, config=rpc, rng=random.Random(seed))
     proto = protocol_cls(loop, ether)
 

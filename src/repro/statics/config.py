@@ -24,6 +24,7 @@ DETERMINISM_PACKAGES: tuple[str, ...] = (
     "repro.netfs",
     "repro.workload",
     "repro.analysis",
+    "repro.fuzz",  # every failure must be replayable from (seed, round)
 )
 
 #: Packages whose *iteration order* feeds bit-identical comparisons

@@ -151,6 +151,25 @@ def _read_exact(fh: IO[bytes], n: int) -> bytes:
     return data
 
 
+_MAX_I64 = (1 << 63) - 1
+
+
+def _i64(value: int) -> int:
+    """Bound an unsigned on-disk field to the signed 64-bit range.
+
+    The writers never emit values this large (file offsets and sizes are
+    far below 2^63), so a set high bit means corruption; letting it
+    through would also crash the columnar store's signed arrays with an
+    OverflowError (found by fuzzing a flipped high bit).
+    """
+    if value > _MAX_I64:
+        raise BinaryTraceError(
+            f"field value {value} exceeds the signed 64-bit range of the "
+            "columnar store; corrupt trace file"
+        )
+    return value
+
+
 def _unpack_event(tag: int, fh: IO[bytes]) -> TraceEvent:
     if tag == _TAG_OPEN:
         t, oid, fid, uid, size, mode, created, new, pos = _S_OPEN.unpack(
@@ -161,18 +180,20 @@ def _unpack_event(tag: int, fh: IO[bytes]) -> TraceEvent:
             open_id=oid,
             file_id=fid,
             user_id=uid,
-            size=size,
+            size=_i64(size),
             mode=AccessMode(mode),
             created=bool(created),
             new_file=bool(new),
-            initial_pos=pos,
+            initial_pos=_i64(pos),
         )
     if tag == _TAG_CLOSE:
         t, oid, pos = _S_CLOSE.unpack(_read_exact(fh, _S_CLOSE.size))
-        return CloseEvent(time=t / 100.0, open_id=oid, final_pos=pos)
+        return CloseEvent(time=t / 100.0, open_id=oid, final_pos=_i64(pos))
     if tag == _TAG_SEEK:
         t, oid, prev, new = _S_SEEK.unpack(_read_exact(fh, _S_SEEK.size))
-        return SeekEvent(time=t / 100.0, open_id=oid, prev_pos=prev, new_pos=new)
+        return SeekEvent(
+            time=t / 100.0, open_id=oid, prev_pos=_i64(prev), new_pos=_i64(new)
+        )
     if tag == _TAG_CREATE:
         t, fid, uid = _S_CREATE.unpack(_read_exact(fh, _S_CREATE.size))
         return CreateEvent(time=t / 100.0, file_id=fid, user_id=uid)
@@ -181,10 +202,10 @@ def _unpack_event(tag: int, fh: IO[bytes]) -> TraceEvent:
         return UnlinkEvent(time=t / 100.0, file_id=fid)
     if tag == _TAG_TRUNC:
         t, fid, length = _S_TRUNC.unpack(_read_exact(fh, _S_TRUNC.size))
-        return TruncateEvent(time=t / 100.0, file_id=fid, new_length=length)
+        return TruncateEvent(time=t / 100.0, file_id=fid, new_length=_i64(length))
     if tag == _TAG_EXEC:
         t, fid, uid, size = _S_EXEC.unpack(_read_exact(fh, _S_EXEC.size))
-        return ExecEvent(time=t / 100.0, file_id=fid, user_id=uid, size=size)
+        return ExecEvent(time=t / 100.0, file_id=fid, user_id=uid, size=_i64(size))
     raise BinaryTraceError(f"unknown event tag {tag}")
 
 
@@ -349,6 +370,17 @@ def read_binary_columns(src: _PathOrFile) -> TraceColumns:
         if own:
             fh.close()
 
+    # The count is untrusted input and sizes the column allocations below;
+    # bound it by the smallest possible record before allocating (found by
+    # fuzzing: an inflated count used to raise MemoryError, not a
+    # diagnostic).
+    min_record = 1 + _S_UNLINK.size
+    if count * min_record > len(payload):
+        raise BinaryTraceError(
+            f"truncated trace file: header claims {count} events but only "
+            f"{len(payload)} payload bytes follow"
+        )
+
     kinds = bytearray(count)
     flags = bytearray(count)
     times = array("d", bytes(8 * count))
@@ -368,6 +400,15 @@ def read_binary_columns(src: _PathOrFile) -> TraceColumns:
                     payload, off
                 )
                 off += _S_OPEN.size
+                if mode == 0 or mode & ~FLAG_MODE_MASK:
+                    # The writers only emit AccessMode 1..3; anything else
+                    # would alias the created/new-file flag bits when
+                    # packed below (found by fuzzing: a flipped mode bit
+                    # used to decode as a clean trace with created=True).
+                    raise BinaryTraceError(
+                        f"invalid access mode {mode} in event {i + 1} of "
+                        f"{count}; corrupt trace file"
+                    )
                 times[i] = t / 100.0
                 open_ids[i] = oid
                 file_ids[i] = fid
@@ -421,6 +462,13 @@ def read_binary_columns(src: _PathOrFile) -> TraceColumns:
     except (IndexError, struct.error):
         raise BinaryTraceError(
             f"truncated trace file: event {i + 1} of {count} is incomplete"
+        ) from None
+    except OverflowError:
+        # A u64 field with its high bit set does not fit the signed
+        # column arrays; the writers never emit such values.
+        raise BinaryTraceError(
+            f"field value in event {i + 1} of {count} exceeds the signed "
+            "64-bit range of the columnar store; corrupt trace file"
         ) from None
     return TraceColumns(
         name=name,

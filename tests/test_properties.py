@@ -10,7 +10,12 @@ Invariants covered:
 * the cache simulator's miss ratio stays in [0, 1], a larger cache never
   does worse under pure-LRU reads, and disk reads never exceed read misses'
   upper bound;
-* access reconstruction conserves bytes against the position arithmetic.
+* access reconstruction conserves bytes against the position arithmetic;
+* the fuzzer's input model (``repro.fuzz.gen``) only produces valid
+  traces and executable syscall sequences, and the differential oracles
+  hold over its whole distribution — the same generators the fuzz
+  harness drives, shared via :func:`repro.fuzz.gen.trace_strategy` /
+  :func:`repro.fuzz.gen.ops_strategy` so the two never drift apart.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis.accesses import reconstruct_accesses
 from repro.analysis.cdf import Cdf
+from repro.fuzz.gen import ops_strategy, trace_strategy
 from repro.cache.policies import DELAYED_WRITE
 from repro.cache.simulator import BlockCacheSimulator
 from repro.cache.stream import build_stream
@@ -302,3 +308,39 @@ class TestTraceOpsProperties:
         out = renumber_opens(log, open_id_base=1000)
         assert len(out) == len(log)
         assert total_bytes_transferred(out) == total_bytes_transferred(log)
+
+
+class TestFuzzInputModel:
+    """The fuzz harness's generators, driven as hypothesis properties."""
+
+    @given(trace_strategy(max_events=60))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_traces_validate_and_round_trip(self, log):
+        from repro.trace.io_binary import read_binary_columns
+        from repro.trace.validate import validate
+
+        assert validate(log).ok
+        buf = io.BytesIO()
+        write_binary(log, buf)
+        buf.seek(0)
+        assert read_binary(buf).events == log.events
+        buf.seek(0)
+        assert read_binary_columns(buf).to_log().events == log.events
+
+    @given(trace_strategy(max_events=60))
+    @settings(max_examples=25, deadline=None)
+    def test_oracles_hold_over_the_generator_distribution(self, log):
+        from repro.fuzz.oracles import check_all
+
+        assert check_all(log) is None
+
+    @given(ops_strategy(max_ops=40))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_ops_execute_cleanly(self, ops):
+        from repro.fuzz.gen import apply_ops
+        from repro.fuzz.runner import _check_ops
+
+        # The shadow model guarantees validity on a fresh file system.
+        assert apply_ops(ops).skipped == 0
+        # The full pillar-1 oracle (replay + validate + fsck + differentials).
+        assert _check_ops(ops) is None

@@ -130,3 +130,65 @@ class TestFsck:
 
     def test_str_mentions_counts(self, fs):
         assert "inodes" in str(fsck(fs))
+
+
+class TestFsckErrorPaths:
+    """Each named inconsistency class, provoked by targeted corruption."""
+
+    def test_detects_orphan_directory(self, fs):
+        fs.mkdir("/d")
+        # Drop the parent's entry; the directory inode stays live.
+        fs.inodes.get(fs.root_inum).entries.pop("d")
+        report = fsck(fs)
+        assert any("orphan directory" in p for p in report.problems)
+
+    def test_detects_directory_cycle(self, fs):
+        fs.makedirs("/a/b")
+        a_inum = fs.stat("/a").inum
+        fs.inodes.get(fs.stat("/a/b").inum).entries["loop"] = a_inum
+        report = fsck(fs)
+        assert any("cycle" in p for p in report.problems)
+
+    def test_detects_directory_with_multiple_parents(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.mkdir("/a/child")
+        child_inum = fs.stat("/a/child").inum
+        fs.inodes.get(fs.stat("/b").inum).entries["alias"] = child_inum
+        report = fsck(fs)
+        assert any("multiple parents" in p for p in report.problems)
+
+    def test_detects_dead_inode(self, fs):
+        fd = fs.creat("/a")
+        fs.close(fd)
+        # Unreferenced, nlink 0, not open — but still in the inode table.
+        fs.inodes.get(fs.stat("/a").inum).nlink = 0
+        fs.inodes.get(fs.root_inum).entries.pop("a")
+        report = fsck(fs)
+        assert any("dead (nlink 0, not open)" in p for p in report.problems)
+
+    def test_detects_allocator_accounting_drift(self, fs):
+        fd = fs.creat("/a")
+        fs.write(fd, b"x" * 5000)
+        fs.close(fd)
+        inum = fs.stat("/a").inum
+        # Reassign the extent to a nonexistent inode: the file loses its
+        # space, the ghost extent is flagged, and the global accounting
+        # still balances against the sum of extents.
+        fs._extents[999_999] = fs._extents.pop(inum)
+        report = fsck(fs)
+        assert any("allocated" in p for p in report.problems)
+        assert any("missing inode 999999" in p for p in report.problems)
+
+    def test_detects_open_fd_to_missing_inode(self, fs):
+        fd = fs.creat("/a")
+        fs.fds.get(fd).inode.inum = 888_888  # no longer a table key
+        report = fsck(fs)
+        assert any("missing inode" in p for p in report.problems)
+
+    def test_problem_count_matches_report_status(self, fs):
+        fs.mkdir("/d")
+        fs.inodes.get(fs.stat("/d").inum).entries["ghost"] = 4242
+        report = fsck(fs)
+        assert not report.ok
+        assert "problem(s)" in str(report)
