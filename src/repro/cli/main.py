@@ -20,9 +20,14 @@ Subcommands::
     repro-fs lint      src tests --format json --baseline .statics-baseline.json
     repro-fs fuzz      --seed 1 --budget 2000 [--corpus corpus/]
     repro-fs convert-strace strace.log -o out.trace
+    repro-fs corpus    pack a5.btrace -o a5.bcorpus [--segment-events N]
+    repro-fs corpus    info a5.bcorpus [--segments]
+    repro-fs corpus    verify a5.bcorpus [--jobs N]
 
 Traces are stored in the binary format when the filename ends in ``.btrace``
-and the text format otherwise.
+and the text format otherwise.  A ``.bcorpus`` file is a sharded
+out-of-core corpus (``repro.corpus``): ``generate --spool``, ``validate``
+and ``analyze`` accept it directly and stream it segment by segment.
 """
 
 from __future__ import annotations
@@ -138,8 +143,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     else:
         profile = PROFILES[args.profile]
     duration = args.hours * 3600.0
-    if args.spool and not args.output.endswith(".btrace"):
-        print("--spool streams the binary format: output must end in .btrace",
+    if args.spool and not args.output.endswith((".btrace", ".bcorpus")):
+        print("--spool streams the binary format: output must end in "
+              ".btrace or .bcorpus",
               file=sys.stderr)
         return 2
 
@@ -201,6 +207,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.trace.endswith(".bcorpus"):
+        # Streaming path: segments fold through the same tracker the
+        # in-RAM validator uses, so the report is identical.
+        from ..corpus import validate_corpus
+
+        report = validate_corpus(args.trace, max_problems=args.max_problems)
+        print(report)
+        for problem in report.problems:
+            print(f"  {problem}")
+        return 0 if report.ok else 1
     if args.trace.endswith(".btrace"):
         # Columnar path: validate straight off the column arrays (plus
         # the storage-level u32-time/flag-byte checks), never building
@@ -217,7 +233,40 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _render_onepass_section(report, wanted: str) -> str:
+    """One section of a fused :class:`OnePassReport` by ``--report`` name."""
+    if wanted == "all":
+        return report.render()
+    if wanted == "activity":
+        return report.activity.render()
+    if wanted == "sequentiality":
+        return report.sequentiality.render()
+    if wanted == "opentimes":
+        return open_time_summary(report.open_times)
+    if wanted == "sizes":
+        return size_summary(report.size_by_accesses, report.size_by_bytes)
+    if wanted == "users":
+        from ..analysis import render_user_table
+
+        return render_user_table(report.users)
+    if wanted == "burstiness":
+        return report.burstiness.render()
+    dead = [lt for lt in report.lifetimes if lt.lifetime is not None]
+    return (
+        f"{len(report.lifetimes)} new files, {len(dead)} died during the "
+        f"trace; {100 * report.daemon_spike:.0f}% of lifetimes in the "
+        "179-181 s daemon band"
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.trace.endswith(".bcorpus"):
+        # Out-of-core path: one streamed pass, then print the requested
+        # section — every section is a field of the fused report.
+        from ..corpus import analyze_corpus
+
+        print(_render_onepass_section(analyze_corpus(args.trace), args.report))
+        return 0
     log = _load_trace(args.trace)
     wanted = args.report
     if wanted == "all":
@@ -502,6 +551,59 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_corpus_pack(args: argparse.Namespace) -> int:
+    from ..corpus import pack_trace
+
+    if not args.output.endswith(".bcorpus"):
+        print("corpus output must end in .bcorpus", file=sys.stderr)
+        return 2
+    writer = pack_trace(
+        args.trace, args.output, segment_events=args.segment_events
+    )
+    print(
+        f"wrote {args.output}: {writer.events_written} events in "
+        f"{writer.segments_written} segment(s), {writer.bytes_written} bytes"
+    )
+    return 0
+
+
+def _cmd_corpus_info(args: argparse.Namespace) -> int:
+    from ..corpus import CorpusReader
+
+    with CorpusReader(args.corpus) as reader:
+        stats = reader.stats
+        span = (
+            f"{stats[0].time_first:.2f}..{stats[-1].time_last:.2f} s"
+            if stats
+            else "empty"
+        )
+        print(f"{args.corpus}: trace {reader.name!r} ({reader.description})")
+        print(
+            f"  {reader.total_events} events in {reader.segment_count} "
+            f"segment(s) of <= {reader.segment_events}, {span}"
+        )
+        if args.segments:
+            for i, stat in enumerate(stats):
+                print(f"  segment {i}: {stat.summary_line()}")
+    return 0
+
+
+def _cmd_corpus_verify(args: argparse.Namespace) -> int:
+    from ..corpus import CorpusError, CorpusReader, map_segments, verify_segment_job
+
+    try:
+        # Reader-level pass first: footer/header/crc coverage in-process.
+        with CorpusReader(args.corpus) as reader:
+            checked = reader.verify()
+        # Then the sharded stats re-derivation, one job per segment.
+        map_segments(verify_segment_job, args.corpus, jobs=_jobs(args))
+    except CorpusError as error:
+        print(f"corrupt: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.corpus}: OK ({checked} segment(s) verified)")
+    return 0
+
+
 def _cmd_convert_strace(args: argparse.Namespace) -> int:
     log, stats = convert_file(args.strace_log, name=args.name)
     _save_trace(log, args.output)
@@ -720,6 +822,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
                    help="also stop at a wall-clock deadline (for CI)")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "corpus",
+        help="out-of-core sharded corpora: pack traces into .bcorpus "
+        "files, inspect the segment index, verify checksums and stats",
+    )
+    csub = p.add_subparsers(dest="corpus_command", required=True)
+    c = csub.add_parser("pack", help="pack a trace file into a .bcorpus")
+    c.add_argument("trace", help="source trace (.btrace, .trace, or text)")
+    c.add_argument("-o", "--output", required=True)
+    c.add_argument("--segment-events", type=_positive_int, default=65536,
+                   help="events per segment (default: 65536)")
+    c.set_defaults(func=_cmd_corpus_pack)
+    c = csub.add_parser("info", help="print the corpus header and index")
+    c.add_argument("corpus")
+    c.add_argument("--segments", action="store_true",
+                   help="also print one line per segment")
+    c.set_defaults(func=_cmd_corpus_info)
+    c = csub.add_parser(
+        "verify", help="recompute every segment checksum and statistic"
+    )
+    c.add_argument("corpus")
+    c.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker processes for the per-segment pass "
+                   "(default: CPU count, capped)")
+    c.set_defaults(func=_cmd_corpus_verify)
 
     p = sub.add_parser("convert-strace", help="convert strace -f -ttt output")
     p.add_argument("strace_log")

@@ -1,0 +1,55 @@
+"""Out-of-core trace corpora: segmented columnar storage with a stats index.
+
+The paper's traces fit in RAM; the scaled synthetic workloads this repo
+aims at do not.  A *corpus* (``.bcorpus``) stores one trace as a run of
+fixed-width columnar segments — the exact ``TraceColumns`` buffer
+layouts — plus a footer index carrying per-segment statistics, so
+readers can seek, skip, shard, and verify without materializing events:
+
+- :class:`CorpusWriter` / :class:`CorpusSpool` build corpora append-only
+  with bounded memory (``generate_many`` spools straight into one when
+  the output path ends in ``.bcorpus``).
+- :class:`CorpusReader` mmaps a corpus and serves zero-copy
+  ``TraceColumns`` views of individual segments.
+- :func:`analyze_corpus` / :func:`validate_corpus` stream segments
+  through the one-pass analyzer and validator, bit-identical to the
+  in-RAM paths.
+- :func:`map_segments` shards one corpus across worker processes by
+  segment via ``repro.parallel.run_jobs`` with deterministic merge
+  order.
+
+Format spec: ``DESIGN.md`` §11 and :mod:`repro.corpus.format`.
+"""
+
+from .format import (
+    DEFAULT_SEGMENT_EVENTS,
+    FORMAT_VERSION,
+    SCHEMA_DIGESTS,
+    CorpusError,
+    SegmentStat,
+    schema_digest,
+)
+from .parallel import map_segments, segment_kind_counts, verify_segment_job
+from .reader import CorpusReader, read_corpus_columns
+from .stream import analyze_corpus, validate_corpus
+from .writer import CorpusSpool, CorpusWriter, pack_columns, pack_trace
+
+__all__ = [
+    "CorpusError",
+    "CorpusReader",
+    "CorpusSpool",
+    "CorpusWriter",
+    "DEFAULT_SEGMENT_EVENTS",
+    "FORMAT_VERSION",
+    "SCHEMA_DIGESTS",
+    "SegmentStat",
+    "analyze_corpus",
+    "map_segments",
+    "pack_columns",
+    "pack_trace",
+    "read_corpus_columns",
+    "schema_digest",
+    "segment_kind_counts",
+    "validate_corpus",
+    "verify_segment_job",
+]

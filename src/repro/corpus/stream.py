@@ -1,0 +1,95 @@
+"""Streaming analysis and validation over a corpus, segment by segment.
+
+Both entry points fold segments through the same state machines the
+in-RAM paths use — :class:`~repro.analysis.onepass.OnePassCollector` and
+the validator's ``_OpenTracker`` — so their results are **bit-identical**
+to loading the whole corpus into one ``TraceColumns`` and running
+``analyze_onepass`` / ``validate_columns`` on it, while peak memory
+stays O(segment) plus O(live analysis state).  The whole-trace facts the
+analyzer needs up front (start time and duration, which size the
+burstiness windows) come from the footer index, not from event data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from ..analysis.onepass import OnePassCollector, OnePassReport
+from ..trace.validate import (
+    DEFAULT_MAX_PROBLEMS,
+    ValidationReport,
+    _OpenTracker,
+    validate_columns_into,
+)
+from .reader import CorpusReader
+
+__all__ = ["analyze_corpus", "validate_corpus"]
+
+_ReaderOrPath = Union[CorpusReader, str, os.PathLike]
+
+
+def _open(src: _ReaderOrPath) -> tuple[CorpusReader, bool]:
+    if isinstance(src, CorpusReader):
+        return src, False
+    return CorpusReader(src), True
+
+
+def analyze_corpus(
+    src: _ReaderOrPath,
+    long_window: float = 600.0,
+    short_window: float = 10.0,
+    burst_window: float = 10.0,
+) -> OnePassReport:
+    """Run the full one-pass analysis over a corpus without loading it.
+
+    *src* is a :class:`CorpusReader` (left open) or a path (opened and
+    closed here).  The report is bit-identical to
+    ``analyze_onepass(reader.to_columns())`` — checked continuously by
+    the fuzz harness's corpus pillar.
+    """
+    reader, own = _open(src)
+    try:
+        stats = reader.stats
+        start = stats[0].time_first if stats else 0.0
+        duration = (stats[-1].time_last - start) if stats else 0.0
+        collector = OnePassCollector(
+            reader.name,
+            start,
+            duration,
+            long_window=long_window,
+            short_window=short_window,
+            burst_window=burst_window,
+        )
+        for cols in reader.iter_segments():
+            collector.feed(cols)
+        return collector.finish()
+    finally:
+        if own:
+            reader.close()
+
+
+def validate_corpus(
+    src: _ReaderOrPath,
+    max_problems: int = DEFAULT_MAX_PROBLEMS,
+) -> ValidationReport:
+    """Check every tracer invariant across a corpus, segment by segment.
+
+    Problem messages carry global event indices (the tracker state and
+    the index base persist across segment boundaries), so the report
+    matches ``validate_columns(reader.to_columns())`` exactly.
+    """
+    reader, own = _open(src)
+    try:
+        report = ValidationReport(
+            event_count=len(reader), max_problems=max_problems
+        )
+        tracker = _OpenTracker(report)
+        base = 0
+        for cols in reader.iter_segments():
+            validate_columns_into(cols, tracker, base)
+            base += len(cols.kinds)
+        return tracker.finish()
+    finally:
+        if own:
+            reader.close()

@@ -19,24 +19,40 @@ inputs:
 * :mod:`repro.fuzz.faults` — :class:`FaultPlan` corruption of serialized
   traces (truncation, bit flips, header lies) plus netfs fault injection
   (dropped/duplicated RPCs, disk stalls) with a convergence check;
+* :mod:`repro.fuzz.corpus` — the out-of-core corpus codec pillar:
+  write-path equivalence, bit-exact segment round-trips,
+  streamed-vs-in-RAM analyze/validate differentials, and
+  :class:`CorpusFaultPlan` corruption schedules;
 * :mod:`repro.fuzz.shrink` — ddmin-style reduction of failing event and
   op sequences, and the on-disk repro corpus;
 * :mod:`repro.fuzz.runner` — the budgeted driver behind ``repro-fs
   fuzz``.
 """
 
+from .corpus import (
+    CorpusFaultPlan,
+    check_corpus_all,
+    check_corpus_corruption,
+    check_corpus_roundtrip,
+    check_corpus_streaming,
+)
 from .faults import FaultPlan, NetfsFaults
 from .gen import SyscallOp, random_ops, random_trace
 from .oracles import Divergence
 from .runner import FuzzConfig, FuzzReport, run_fuzz
 
 __all__ = [
+    "CorpusFaultPlan",
     "Divergence",
     "FaultPlan",
     "FuzzConfig",
     "FuzzReport",
     "NetfsFaults",
     "SyscallOp",
+    "check_corpus_all",
+    "check_corpus_corruption",
+    "check_corpus_roundtrip",
+    "check_corpus_streaming",
     "random_ops",
     "random_trace",
     "run_fuzz",

@@ -1,6 +1,6 @@
 """The fuzz driver behind ``repro-fs fuzz``.
 
-One *round* = one seeded burst through all three pillars:
+One *round* = one seeded burst through all four pillars:
 
 1. generate a random-but-valid syscall sequence, execute it on a fresh
    traced kernel with the :class:`~repro.fuzz.replay.ReplayChecker`
@@ -12,7 +12,11 @@ One *round* = one seeded burst through all three pillars:
    CreateEvents, orphan closes survive slicing, etc.);
 3. corrupt the synthetic trace's serialization per the round's
    :class:`~repro.fuzz.faults.FaultPlan`, and periodically run the netfs
-   fault-convergence check.
+   fault-convergence check;
+4. shard the synthetic trace through the out-of-core corpus codec
+   (:mod:`repro.fuzz.corpus`): write-path equivalence, bit-exact
+   read-back, streamed-vs-in-RAM analyze/validate, and a
+   :class:`~repro.fuzz.corpus.CorpusFaultPlan` corruption schedule.
 
 Every round is a pure function of ``(seed, round_index)``, so any
 failure is replayable; failures are ddmin-shrunk to a minimal event
@@ -31,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..trace.log import TraceLog
+from .corpus import CorpusFaultPlan, check_corpus_all, check_corpus_corruption
 from .faults import FaultPlan, check_corruption, check_netfs_convergence
 from .gen import SyscallOp, apply_ops, random_ops, random_trace
 from .oracles import Divergence, canonicalize_times, check_all
@@ -71,6 +76,8 @@ class FuzzReport:
     ops_executed: int = 0
     events_checked: int = 0
     corruption_cases: int = 0
+    corpus_events: int = 0
+    corpus_corruptions: int = 0
     netfs_checks: int = 0
     corpus_replayed: int = 0
     divergences: list[Divergence] = field(default_factory=list)
@@ -86,6 +93,8 @@ class FuzzReport:
             f"{self.steps} steps ({self.ops_executed} syscalls, "
             f"{self.events_checked} events through oracles, "
             f"{self.corruption_cases} corruptions, "
+            f"{self.corpus_events} events through the corpus codec, "
+            f"{self.corpus_corruptions} corpus corruptions, "
             f"{self.netfs_checks} netfs convergence runs, "
             f"{self.corpus_replayed} corpus repros replayed)"
         )
@@ -136,13 +145,15 @@ def _shrink_ops(
     return shrunk, detail
 
 
-def _shrink_events(events: list, pillar: str) -> tuple[list, str]:
+def _shrink_events(
+    events: list, pillar: str, check: Callable = check_all
+) -> tuple[list, str]:
     def still_fails(candidate: list) -> bool:
-        result = check_all(TraceLog(name="shrink", events=candidate))
+        result = check(TraceLog(name="shrink", events=candidate))
         return result is not None and result[0] == pillar
 
     shrunk = ddmin(events, still_fails)
-    result = check_all(TraceLog(name="shrink", events=shrunk))
+    result = check(TraceLog(name="shrink", events=shrunk))
     detail = result[1] if result is not None else "shrunk repro stopped failing"
     return shrunk, detail
 
@@ -169,7 +180,10 @@ def run_fuzz(
     if config.corpus:
         replayed, failing = replay_corpus(
             config.corpus,
-            check_events=lambda log: check_all(canonicalize_times(log)),
+            check_events=lambda log: (
+                check_all(canonicalize_times(log))
+                or check_corpus_all(canonicalize_times(log))
+            ),
             check_ops=_check_ops,
         )
         report.corpus_replayed = replayed
@@ -277,6 +291,62 @@ def run_fuzz(
             report.divergences.append(
                 Divergence(
                     pillar="fault",
+                    detail=detail,
+                    seed=round_seed,
+                    corpus_entry=entry,
+                )
+            )
+
+        # Pillar 4: the out-of-core corpus codec, on the same synthetic
+        # trace — write-path equivalence, streamed-vs-in-RAM
+        # differentials, then its own corruption schedule.
+        result = check_corpus_all(synthetic)
+        report.corpus_events += len(synthetic.events)
+        report.steps += len(synthetic.events)
+        if result is not None:
+            pillar, detail = result
+            say(f"round {round_index}: FAIL [{pillar}] {detail}; shrinking ...")
+            shrunk, detail = _shrink_events(
+                list(synthetic.events), pillar, check=check_corpus_all
+            )
+            entry = None
+            if config.corpus:
+                entry = write_corpus_entry(
+                    config.corpus,
+                    name=f"corpus-{config.seed}-{round_index}",
+                    pillar=pillar,
+                    detail=detail,
+                    seed=round_seed,
+                    events=shrunk,
+                )
+            report.divergences.append(
+                Divergence(
+                    pillar=pillar,
+                    detail=detail,
+                    seed=round_seed,
+                    shrunk_events=len(shrunk),
+                    corpus_entry=entry,
+                )
+            )
+
+        corpus_plan = CorpusFaultPlan(seed=round_seed, cases=CORRUPTIONS_PER_ROUND)
+        detail, cases = check_corpus_corruption(synthetic, corpus_plan)
+        report.corpus_corruptions += cases
+        report.steps += cases
+        if detail is not None:
+            entry = None
+            if config.corpus:
+                entry = write_corpus_entry(
+                    config.corpus,
+                    name=f"corpus-fault-{config.seed}-{round_index}",
+                    pillar="corpus",
+                    detail=detail,
+                    seed=round_seed,
+                    events=list(synthetic.events),
+                )
+            report.divergences.append(
+                Divergence(
+                    pillar="corpus",
                     detail=detail,
                     seed=round_seed,
                     corpus_entry=entry,

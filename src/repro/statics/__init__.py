@@ -30,6 +30,7 @@ REP-P002   error     workers must not mutate module-level state
 REP-H001   warning   hot-path classes must define ``__slots__``
 REP-H002   error     no float ``==``/``!=`` in simulator code
 REP-S001   error     trace schema agrees across records/columns/io_binary
+REP-S002   error     corpus on-disk schema digest matches SCHEMA_DIGESTS
 REP-A000   error     suppressions must name a rule id and a justification
 REP-E001   error     file fails to parse (engine-generated)
 =========  ========  =====================================================
@@ -45,7 +46,7 @@ from .engine import LintReport, collect_files, lint_paths
 from .findings import Finding, Severity
 from .registry import CROSS_RULES, RULES, rule_catalog
 from .reporters import render_json, render_text
-from .rules_schema import check_trace_schema
+from .rules_schema import check_corpus_schema, check_trace_schema
 
 __all__ = [
     "Finding",
@@ -60,6 +61,7 @@ __all__ = [
     "render_json",
     "render_text",
     "rule_catalog",
+    "check_corpus_schema",
     "check_trace_schema",
     "RULES",
     "CROSS_RULES",

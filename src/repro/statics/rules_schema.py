@@ -1,4 +1,13 @@
-"""Trace-schema drift detection (cross-artifact).
+"""Schema drift detection (cross-artifact).
+
+Two rules guard two schemas:
+
+``REP-S001`` — the trace event schema, which lives in three places that
+must agree field-for-field;
+
+``REP-S002`` — the corpus on-disk layout (``corpus/format.py``), whose
+version-stamped digest must be recomputed and re-registered on any
+layout change.
 
 The trace schema lives in three places that must agree field-for-field:
 
@@ -21,6 +30,7 @@ from another, in either direction.
 from __future__ import annotations
 
 import ast
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -28,7 +38,7 @@ from typing import Iterable, Iterator
 from .findings import Finding, Severity
 from .registry import cross_rule
 
-__all__ = ["check_trace_schema", "TRACE_ARTIFACTS"]
+__all__ = ["check_corpus_schema", "check_trace_schema", "TRACE_ARTIFACTS"]
 
 #: File names that make up one trace-schema artifact set (all three must
 #: sit in the same directory to be checked as a unit).
@@ -295,3 +305,151 @@ def check_schema_drift(paths: Iterable[Path]) -> Iterator[Finding]:
             yield from check_trace_schema(
                 found["records.py"], found["columns.py"], found["io_binary.py"]
             )
+
+
+# -- REP-S002: corpus on-disk schema vs its registered digest ------------------
+
+#: Constants of ``corpus/format.py`` that define the on-disk layout, in
+#: the exact key order ``schema_digest()`` feeds them into the canonical
+#: repr.  (name in format.py, key in the canonical dict)
+_CORPUS_DIGEST_INPUTS = (
+    ("FORMAT_VERSION", "version"),
+    ("MAGIC", "magic"),
+    ("FOOTER_MAGIC", "footer_magic"),
+    ("END_MAGIC", "end_magic"),
+    ("COLUMN_LAYOUT", "column_layout"),
+    ("SEGMENT_STAT_FIELDS", "stat_fields"),
+    ("SEGMENT_STAT_STRUCT", "stat_struct"),
+    ("FLAG_HIST_BINS", "flag_hist_bins"),
+    ("BYTES_PER_EVENT", "bytes_per_event"),
+)
+
+
+def _module_constants(tree: ast.Module) -> tuple[dict[str, object], dict[str, int]]:
+    """Literal module-level assignments: name -> value, name -> line.
+
+    Resolves one level of name indirection (``SCHEMA_DIGESTS = {1:
+    _SCHEMA_DIGEST_V1}``) against earlier literal assignments, which is
+    how format.py keeps the registered digest greppable.
+    """
+    values: dict[str, object] = {}
+    lines: dict[str, int] = {}
+
+    def _eval(node: ast.expr):
+        if isinstance(node, ast.Name) and node.id in values:
+            return values[node.id]
+        if isinstance(node, ast.Dict):
+            return {
+                _eval(k): _eval(v)
+                for k, v in zip(node.keys, node.values)
+                if k is not None
+            }
+        if isinstance(node, (ast.Tuple, ast.List)):
+            items = tuple(_eval(item) for item in node.elts)
+            return items if isinstance(node, ast.Tuple) else list(items)
+        return ast.literal_eval(node)
+
+    for stmt in tree.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            continue
+        name = stmt.targets[0].id
+        try:
+            values[name] = _eval(stmt.value)
+        except (ValueError, KeyError, TypeError, SyntaxError):
+            continue
+        lines[name] = stmt.lineno
+    return values, lines
+
+
+def check_corpus_schema(format_path: Path) -> Iterator[Finding]:
+    """Recompute the corpus schema digest from source literals.
+
+    Mirrors :func:`repro.corpus.format.schema_digest` without importing
+    the package: the canonical string is the repr of a dict built from
+    the layout-defining literals, digested with sha256 and truncated to
+    12 hex chars.  A layout edit that does not bump ``FORMAT_VERSION``
+    and register the new digest in ``SCHEMA_DIGESTS`` is drift.
+    """
+    tree = ast.parse(
+        format_path.read_text(encoding="utf-8"), filename=str(format_path)
+    )
+    values, lines = _module_constants(tree)
+
+    missing = [name for name, _key in _CORPUS_DIGEST_INPUTS if name not in values]
+    if "SCHEMA_DIGESTS" not in values:
+        missing.append("SCHEMA_DIGESTS")
+    if missing:
+        yield Finding(
+            rule_id="REP-S002",
+            path=str(format_path),
+            line=1,
+            col=1,
+            severity=Severity.ERROR,
+            message="cannot recompute the corpus schema digest: no literal "
+            f"module-level assignment for {', '.join(sorted(missing))}",
+        )
+        return
+
+    version = values["FORMAT_VERSION"]
+    canonical = repr({key: values[name] for name, key in _CORPUS_DIGEST_INPUTS})
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+    registry = values["SCHEMA_DIGESTS"]
+
+    registered = registry.get(version) if isinstance(registry, dict) else None
+    if registered is None:
+        yield Finding(
+            rule_id="REP-S002",
+            path=str(format_path),
+            line=lines.get("SCHEMA_DIGESTS", 1),
+            col=1,
+            severity=Severity.ERROR,
+            message=f"SCHEMA_DIGESTS has no entry for FORMAT_VERSION "
+            f"{version!r}; register its digest {digest!r}",
+        )
+    elif registered != digest:
+        yield Finding(
+            rule_id="REP-S002",
+            path=str(format_path),
+            line=lines.get("SCHEMA_DIGESTS", 1),
+            col=1,
+            severity=Severity.ERROR,
+            message=f"corpus on-disk schema drifted: recomputed digest "
+            f"{digest!r} != registered {registered!r} for version "
+            f"{version!r}; bump FORMAT_VERSION and register the new digest",
+        )
+
+    if isinstance(version, int) and 0 <= version <= 255:
+        for name in ("MAGIC", "FOOTER_MAGIC", "END_MAGIC"):
+            magic = values[name]
+            if not (isinstance(magic, bytes) and len(magic) == 8):
+                yield Finding(
+                    rule_id="REP-S002",
+                    path=str(format_path),
+                    line=lines.get(name, 1),
+                    col=1,
+                    severity=Severity.ERROR,
+                    message=f"{name} must be exactly 8 bytes "
+                    f"(7-byte tag + version byte), got {magic!r}",
+                )
+            elif magic[-1] != version:
+                yield Finding(
+                    rule_id="REP-S002",
+                    path=str(format_path),
+                    line=lines.get(name, 1),
+                    col=1,
+                    severity=Severity.ERROR,
+                    message=f"{name} ends with version byte {magic[-1]} but "
+                    f"FORMAT_VERSION is {version}; the magics must carry "
+                    "the current version",
+                )
+
+
+@cross_rule("REP-S002", "corpus schema drift without a format-version bump")
+def check_corpus_schema_drift(paths: Iterable[Path]) -> Iterator[Finding]:
+    for path in sorted(set(paths)):
+        if path.name == "format.py" and path.parent.name == "corpus":
+            yield from check_corpus_schema(path)

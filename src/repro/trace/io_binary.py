@@ -53,6 +53,8 @@ __all__ = [
     "read_binary",
     "write_binary_columns",
     "read_binary_columns",
+    "iter_binary",
+    "BinaryTraceStream",
     "BinaryTraceWriter",
     "TraceSpool",
     "MAGIC",
@@ -144,10 +146,18 @@ def _pack_event(event: TraceEvent) -> bytes:
     raise BinaryTraceError(f"cannot serialize event of type {type(event).__name__}")
 
 
-def _read_exact(fh: IO[bytes], n: int) -> bytes:
+def _read_exact(fh: IO[bytes], n: int, what: str = "record data") -> bytes:
+    try:
+        at = fh.tell()
+    except (OSError, ValueError):  # unseekable stream: no offset to report
+        at = None
     data = fh.read(n)
     if len(data) != n:
-        raise BinaryTraceError(f"truncated trace file: wanted {n} bytes, got {len(data)}")
+        where = "" if at is None else f" at byte {at}"
+        raise BinaryTraceError(
+            f"truncated trace file: wanted {n} bytes for {what}{where}, "
+            f"got {len(data)}"
+        )
     return data
 
 
@@ -237,27 +247,87 @@ def write_binary(log: TraceLog, dest: _PathOrFile) -> int:
             fh.close()
 
 
+def _read_header(fh: IO[bytes]) -> tuple[str, str, int]:
+    """Decode the shared header: (name, description, event count)."""
+    magic = _read_exact(fh, len(MAGIC), "the magic")
+    if magic != MAGIC:
+        raise BinaryTraceError("not a binary trace file (bad magic)")
+    (name_len,) = _HEADER_STR.unpack(
+        _read_exact(fh, _HEADER_STR.size, "the name length")
+    )
+    name = _read_exact(fh, name_len, "the trace name").decode("utf-8")
+    (desc_len,) = _HEADER_STR.unpack(
+        _read_exact(fh, _HEADER_STR.size, "the description length")
+    )
+    desc = _read_exact(fh, desc_len, "the trace description").decode("utf-8")
+    (count,) = _HEADER_COUNT.unpack(
+        _read_exact(fh, _HEADER_COUNT.size, "the event count")
+    )
+    return name, desc, count
+
+
 def read_binary(src: _PathOrFile) -> TraceLog:
     """Read a binary trace file into a :class:`TraceLog`."""
     own = not hasattr(src, "read")
     fh: IO[bytes] = open(src, "rb") if own else src  # type: ignore[assignment]
     try:
-        magic = _read_exact(fh, len(MAGIC))
-        if magic != MAGIC:
-            raise BinaryTraceError("not a binary trace file (bad magic)")
-        (name_len,) = _HEADER_STR.unpack(_read_exact(fh, _HEADER_STR.size))
-        name = _read_exact(fh, name_len).decode("utf-8")
-        (desc_len,) = _HEADER_STR.unpack(_read_exact(fh, _HEADER_STR.size))
-        desc = _read_exact(fh, desc_len).decode("utf-8")
-        (count,) = _HEADER_COUNT.unpack(_read_exact(fh, _HEADER_COUNT.size))
+        name, desc, count = _read_header(fh)
         events: list[TraceEvent] = []
-        for _ in range(count):
-            tag = _read_exact(fh, 1)[0]
+        for i in range(count):
+            tag = _read_exact(fh, 1, f"the tag of event {i + 1} of {count}")[0]
             events.append(_unpack_event(tag, fh))
         return TraceLog(name=name, description=desc, events=events)
     finally:
         if own:
             fh.close()
+
+
+class BinaryTraceStream:
+    """Event-at-a-time view of a binary trace file.
+
+    Returned by :func:`iter_binary`: exposes the header fields
+    (``name``, ``description``, ``count``) immediately and decodes
+    records lazily as it is iterated, so a trace far larger than RAM can
+    be consumed with O(1) memory.  Use as a context manager (or call
+    :meth:`close`) to release the file handle.
+    """
+
+    def __init__(self, src: _PathOrFile):
+        self._own = not hasattr(src, "read")
+        self._fh: IO[bytes] = open(src, "rb") if self._own else src  # type: ignore[assignment]
+        try:
+            self.name, self.description, self.count = _read_header(self._fh)
+        except Exception:
+            self.close()
+            raise
+        self._consumed = 0
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        while self._consumed < self.count:
+            tag = _read_exact(
+                self._fh,
+                1,
+                f"the tag of event {self._consumed + 1} of {self.count}",
+            )[0]
+            event = _unpack_event(tag, self._fh)
+            self._consumed += 1
+            yield event
+
+    def close(self) -> None:
+        if self._own:
+            self._fh.close()
+
+    def __enter__(self) -> "BinaryTraceStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_binary(src: _PathOrFile) -> BinaryTraceStream:
+    """Open a binary trace for streaming iteration (see
+    :class:`BinaryTraceStream`)."""
+    return BinaryTraceStream(src)
 
 
 # -- columnar fast path ------------------------------------------------------
@@ -357,14 +427,11 @@ def read_binary_columns(src: _PathOrFile) -> TraceColumns:
     own = not hasattr(src, "read")
     fh: IO[bytes] = open(src, "rb") if own else src  # type: ignore[assignment]
     try:
-        magic = _read_exact(fh, len(MAGIC))
-        if magic != MAGIC:
-            raise BinaryTraceError("not a binary trace file (bad magic)")
-        (name_len,) = _HEADER_STR.unpack(_read_exact(fh, _HEADER_STR.size))
-        name = _read_exact(fh, name_len).decode("utf-8")
-        (desc_len,) = _HEADER_STR.unpack(_read_exact(fh, _HEADER_STR.size))
-        desc = _read_exact(fh, desc_len).decode("utf-8")
-        (count,) = _HEADER_COUNT.unpack(_read_exact(fh, _HEADER_COUNT.size))
+        name, desc, count = _read_header(fh)
+        try:
+            payload_at = fh.tell()
+        except (OSError, ValueError):
+            payload_at = None
         payload = fh.read()
     finally:
         if own:
@@ -376,9 +443,11 @@ def read_binary_columns(src: _PathOrFile) -> TraceColumns:
     # diagnostic).
     min_record = 1 + _S_UNLINK.size
     if count * min_record > len(payload):
+        where = "" if payload_at is None else f" after byte {payload_at}"
         raise BinaryTraceError(
-            f"truncated trace file: header claims {count} events but only "
-            f"{len(payload)} payload bytes follow"
+            f"truncated trace file: header claims {count} events "
+            f"(>= {count * min_record} bytes) but only {len(payload)} "
+            f"payload bytes follow{where}"
         )
 
     kinds = bytearray(count)
@@ -460,8 +529,10 @@ def read_binary_columns(src: _PathOrFile) -> TraceColumns:
             else:
                 raise BinaryTraceError(f"unknown event tag {tag}")
     except (IndexError, struct.error):
+        where = "" if payload_at is None else f" at byte {payload_at + off}"
         raise BinaryTraceError(
-            f"truncated trace file: event {i + 1} of {count} is incomplete"
+            f"truncated trace file: event {i + 1} of {count} is "
+            f"incomplete{where}"
         ) from None
     except OverflowError:
         # A u64 field with its high bit set does not fit the signed

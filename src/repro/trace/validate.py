@@ -39,7 +39,12 @@ from .io_binary import MAX_TRACE_TIME
 from .log import TraceLog
 from .records import CloseEvent, OpenEvent, SeekEvent, TruncateEvent
 
-__all__ = ["ValidationReport", "validate", "validate_columns"]
+__all__ = [
+    "ValidationReport",
+    "validate",
+    "validate_columns",
+    "validate_columns_into",
+]
 
 DEFAULT_MAX_PROBLEMS = 50
 
@@ -182,6 +187,24 @@ def validate_columns(
     """
     report = ValidationReport(event_count=len(cols), max_problems=max_problems)
     tracker = _OpenTracker(report)
+    validate_columns_into(cols, tracker)
+    return tracker.finish()
+
+
+def validate_columns_into(
+    cols: TraceColumns,
+    tracker: _OpenTracker,
+    base: int = 0,
+) -> None:
+    """Fold one columnar chunk into an ongoing validation.
+
+    The streaming building block behind :func:`validate_columns` (and the
+    corpus path, :func:`repro.corpus.validate_corpus`): *tracker* carries
+    the open/close state across chunks and *base* is the chunk's global
+    index of row 0, so problem messages name the same event numbers the
+    in-RAM path would.  The caller owns ``tracker.finish()``.
+    """
+    report = tracker.report
     kinds = cols.kinds
     times = cols.times
     open_ids = cols.open_ids
@@ -189,9 +212,10 @@ def validate_columns(
     positions = cols.positions
     flags = cols.flags
 
-    for i in range(len(kinds)):
-        kind = kinds[i]
-        t = times[i]
+    for row in range(len(kinds)):
+        i = base + row
+        kind = kinds[row]
+        t = times[row]
         tracker.time(i, t)
         if not 0.0 <= t <= MAX_TRACE_TIME:
             report.add(
@@ -201,7 +225,7 @@ def validate_columns(
         if kind not in KIND_LABELS:
             report.add(f"event {i}: unknown kind tag {kind}")
             continue
-        fl = flags[i]
+        fl = flags[row]
         if kind == KIND_OPEN:
             mode = fl & FLAG_MODE_MASK
             if mode == 0:
@@ -210,16 +234,15 @@ def validate_columns(
                 report.add(
                     f"event {i}: open flag byte {fl:#04x} sets undefined bits"
                 )
-            tracker.open(i, open_ids[i], sizes[i], positions[i])
+            tracker.open(i, open_ids[row], sizes[row], positions[row])
         else:
             if fl != 0:
                 report.add(
                     f"event {i}: non-open row has nonzero flag byte {fl:#04x}"
                 )
             if kind == KIND_SEEK:
-                tracker.seek(i, open_ids[i], sizes[i], positions[i])
+                tracker.seek(i, open_ids[row], sizes[row], positions[row])
             elif kind == KIND_CLOSE:
-                tracker.close(i, open_ids[i], positions[i])
+                tracker.close(i, open_ids[row], positions[row])
             elif kind == KIND_TRUNC:
-                tracker.truncate(i, sizes[i])
-    return tracker.finish()
+                tracker.truncate(i, sizes[row])

@@ -57,6 +57,8 @@ class GenerationResult:
     file: ``trace`` is ``None`` and the spool fields describe what was
     written (``peak_buffered`` is the largest number of events ever
     resident at once — bounded by the spool buffer).
+    ``segments_spooled`` is nonzero only for corpus spools (a
+    ``.bcorpus`` path), which shard the trace as they write.
     """
 
     trace: TraceLog | None
@@ -68,6 +70,7 @@ class GenerationResult:
     spool_path: str | None = None
     events_spooled: int = 0
     peak_buffered: int = 0
+    segments_spooled: int = 0
 
 
 def generate(
@@ -81,7 +84,9 @@ def generate(
 
     With ``spool`` set, events stream incrementally to that binary trace
     file through a buffer of at most *spool_buffer* events, so memory
-    stays O(buffer) however long the synthesis runs.
+    stays O(buffer) however long the synthesis runs.  A spool path ending
+    in ``.bcorpus`` emits a sharded :mod:`repro.corpus` file instead of a
+    flat ``.btrace``, with *spool_buffer* as the segment size.
     """
     root_rng = random.Random(seed)
     clock = Clock()
@@ -99,11 +104,18 @@ def generate(
     # Reset the kernel's own counters too, so the returned system's
     # statistics line up with the trace (the real machines' disks were
     # already populated when tracing began).
-    sink = (
-        None
-        if spool is None
-        else TraceSpool(spool, name=profile.trace_name, buffer_events=spool_buffer)
-    )
+    if spool is None:
+        sink = None
+    elif not hasattr(spool, "write") and os.fspath(spool).endswith(".bcorpus"):
+        from ..corpus.writer import CorpusSpool
+
+        sink = CorpusSpool(
+            spool, name=profile.trace_name, buffer_events=spool_buffer
+        )
+    else:
+        sink = TraceSpool(
+            spool, name=profile.trace_name, buffer_events=spool_buffer
+        )
     tracer = KernelTracer(log=sink, name=profile.trace_name)
     tracer.log.description = profile.description
     fs.tracer = tracer
@@ -150,6 +162,7 @@ def generate(
             spool_path=None if hasattr(spool, "write") else os.fspath(spool),
             events_spooled=sink.events_spooled,
             peak_buffered=sink.peak_buffered,
+            segments_spooled=getattr(sink, "segments_spooled", 0),
         )
     return GenerationResult(
         trace=tracer.log,
@@ -173,13 +186,17 @@ def generate_trace(
 
 @dataclass(frozen=True)
 class SpoolSummary:
-    """One spooled generation: where the trace went and how big it got."""
+    """One spooled generation: where the trace went and how big it got.
+
+    ``segments`` is nonzero only for corpus outputs (``.bcorpus``).
+    """
 
     trace_name: str
     seed: int
     path: str
     events: int
     peak_buffered: int
+    segments: int = 0
 
 
 def _generate_job(payload, job):
@@ -197,6 +214,7 @@ def _generate_job(payload, job):
         path=result.spool_path,
         events=result.events_spooled,
         peak_buffered=result.peak_buffered,
+        segments=result.segments_spooled,
     )
 
 
@@ -223,6 +241,25 @@ def generate_many(
             f"need one output per (profile, seed) pair: "
             f"{len(outputs)} outputs for {len(profile_seeds)} pairs"
         )
+    seen_pairs: set[tuple[str, int]] = set()
+    for profile, seed in profile_seeds:
+        pair = (profile.trace_name, seed)
+        if pair in seen_pairs:
+            raise ValueError(
+                f"duplicate (profile, seed) pair {pair}: identical jobs "
+                "would produce identical traces"
+            )
+        seen_pairs.add(pair)
+    if outputs is not None:
+        seen_paths: set[str] = set()
+        for output in outputs:
+            path = os.fspath(output)
+            if path in seen_paths:
+                raise ValueError(
+                    f"duplicate output path {path!r}: parallel workers "
+                    "would clobber each other's spool"
+                )
+            seen_paths.add(path)
     jobs_list = [
         (profile, seed, None if outputs is None else outputs[i])
         for i, (profile, seed) in enumerate(profile_seeds)

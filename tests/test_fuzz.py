@@ -322,3 +322,72 @@ class TestRunFuzz:
         assert main(["fuzz", "--seed", "1", "--budget", "60"]) == 0
         out = capsys.readouterr().out
         assert "fuzz: OK" in out
+
+
+class TestCorpusPillar:
+    """Pillar 4: the out-of-core corpus codec oracles."""
+
+    def _trace(self, seed: str, n: int = 90) -> TraceLog:
+        return random_trace(random.Random(f"corpus-pillar:{seed}"), n)
+
+    def test_clean_traces_pass_all_corpus_oracles(self):
+        from repro.fuzz.corpus import (
+            check_corpus_roundtrip,
+            check_corpus_streaming,
+        )
+
+        for seed in ("a", "b", "c"):
+            log = self._trace(seed)
+            assert check_corpus_roundtrip(log) is None
+            assert check_corpus_streaming(log) is None
+
+    def test_check_corpus_all_flags_injected_codec_bug(self, monkeypatch):
+        # Break the event-append path only: the write-path equivalence
+        # oracle must notice the two writers no longer agree.
+        from repro.corpus import writer as corpus_writer
+        from repro.fuzz.corpus import check_corpus_all
+
+        original = corpus_writer.CorpusWriter.append
+
+        def buggy(self, event):
+            original(self, event)
+            if self._flags:  # append may have just flushed the segment
+                self._flags[-1] ^= 0x01  # flip a flag bit after the fact
+
+        monkeypatch.setattr(corpus_writer.CorpusWriter, "append", buggy)
+        found = check_corpus_all(self._trace("inject"))
+        assert found is not None
+        pillar, detail = found
+        assert pillar == "corpus"
+        assert "different bytes" in detail
+
+    def test_corruption_plan_all_detected(self):
+        from repro.fuzz.corpus import CorpusFaultPlan, check_corpus_corruption
+
+        plan = CorpusFaultPlan(seed="plan-1", cases=24)
+        detail, cases = check_corpus_corruption(self._trace("plan"), plan)
+        assert detail is None, detail
+        assert cases == 24
+
+    def test_corruption_plan_is_deterministic(self):
+        from repro.fuzz.corpus import CorpusFaultPlan, _pack_via_columns
+        from repro.trace.columns import TraceColumns
+
+        data = _pack_via_columns(
+            TraceColumns.from_log(self._trace("det")), 32
+        )
+        labels = [
+            label for label, _ in CorpusFaultPlan("x", cases=12).corruptions(data)
+        ]
+        again = [
+            label for label, _ in CorpusFaultPlan("x", cases=12).corruptions(data)
+        ]
+        assert labels == again
+        assert len(labels) == 12
+
+    def test_runner_counts_corpus_work(self):
+        report = run_fuzz(FuzzConfig(seed=3, budget=400))
+        assert report.ok, [d.summary() for d in report.divergences]
+        assert report.corpus_events > 0
+        assert report.corpus_corruptions > 0
+        assert "corpus codec" in report.summary()

@@ -17,6 +17,7 @@ import pytest
 
 from repro.cli.main import main
 from repro.statics import (
+    check_corpus_schema,
     check_trace_schema,
     collect_files,
     config,
@@ -93,6 +94,7 @@ def test_rule_catalog_covers_documented_ids():
         "REP-H001",
         "REP-H002",
         "REP-S001",
+        "REP-S002",
         "REP-A000",
     } <= ids
 
@@ -696,6 +698,70 @@ def test_schema_rule_triggers_through_lint_paths(tmp_path):
     assert any(f.rule_id == "REP-S001" for f in report.findings)
     # An incomplete artifact trio (no records.py) is not checked.
     copies["records.py"].unlink()
+    assert lint_paths([tmp_path]).ok
+
+
+# -- REP-S002: corpus schema drift ------------------------------------------
+
+CORPUS_FORMAT = REPO_SRC / "repro" / "corpus" / "format.py"
+
+
+def _corpus_copy(tmp_path: Path) -> Path:
+    target = tmp_path / "corpus" / "format.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    return Path(shutil.copy(CORPUS_FORMAT, target))
+
+
+def test_corpus_schema_rule_passes_on_real_tree(tmp_path):
+    copy = _corpus_copy(tmp_path)
+    assert list(check_corpus_schema(copy)) == []
+
+
+def test_corpus_layout_edit_without_version_bump_fails(tmp_path):
+    # The acceptance-criterion regression: grow the stat record (a new
+    # field without bumping FORMAT_VERSION) and the rule must fire.
+    copy = _corpus_copy(tmp_path)
+    _mutate(copy, '    "flag_hist",\n', '    "flag_hist",\n    "reserved2",\n')
+    findings = list(check_corpus_schema(copy))
+    assert any(
+        f.rule_id == "REP-S002"
+        and "drifted" in f.message
+        and "bump FORMAT_VERSION" in f.message
+        for f in findings
+    )
+
+
+def test_corpus_version_bump_requires_new_digest_and_magics(tmp_path):
+    copy = _corpus_copy(tmp_path)
+    _mutate(copy, "FORMAT_VERSION = 1\n", "FORMAT_VERSION = 2\n")
+    messages = [f.message for f in check_corpus_schema(copy)]
+    assert any("no entry for FORMAT_VERSION" in m for m in messages)
+    # All three magics still carry the old version byte.
+    assert sum("version byte" in m for m in messages) == 3
+
+
+def test_corpus_non_literal_registry_is_an_error(tmp_path):
+    copy = _corpus_copy(tmp_path)
+    _mutate(
+        copy,
+        "SCHEMA_DIGESTS = {1: _SCHEMA_DIGEST_V1}\n",
+        "SCHEMA_DIGESTS = _compute_digests()\n",
+    )
+    findings = list(check_corpus_schema(copy))
+    assert len(findings) == 1
+    assert "cannot recompute" in findings[0].message
+
+
+def test_corpus_schema_rule_triggers_through_lint_paths(tmp_path):
+    copy = _corpus_copy(tmp_path)
+    _mutate(copy, "BYTES_PER_EVENT = 50\n", "BYTES_PER_EVENT = 58\n")
+    report = lint_paths([tmp_path])
+    assert any(f.rule_id == "REP-S002" for f in report.findings)
+    # format.py outside a corpus/ directory is not checked.
+    other = tmp_path / "elsewhere" / "format.py"
+    other.parent.mkdir()
+    shutil.copy(copy, other)
+    copy.unlink()
     assert lint_paths([tmp_path]).ok
 
 

@@ -9,7 +9,9 @@ from repro.trace.io_binary import (
     MAX_TRACE_TIME,
     BinaryTraceError,
     BinaryTraceWriter,
+    iter_binary,
     read_binary,
+    read_binary_columns,
     write_binary,
     write_binary_columns,
 )
@@ -198,3 +200,124 @@ class TestTimeEncoding:
         again = io.BytesIO()
         write_binary(once, again)
         assert again.getvalue() == buf.getvalue()
+
+
+class TestTruncationDiagnostics:
+    """Damaged binary traces must be diagnosed with byte offsets, never a
+    bare struct.error / IndexError."""
+
+    @staticmethod
+    def _bytes() -> bytes:
+        buf = io.BytesIO()
+        write_binary(sample_log(), buf)
+        return buf.getvalue()
+
+    def test_header_truncation_names_field_and_offset(self):
+        data = self._bytes()
+        with pytest.raises(BinaryTraceError, match=r"the magic at byte 0"):
+            read_binary(io.BytesIO(data[:3]))
+        # Magic is 8 bytes; cutting right after it starves the name
+        # length field.
+        with pytest.raises(
+            BinaryTraceError, match=r"the name length at byte 8"
+        ):
+            read_binary(io.BytesIO(data[:8]))
+        with pytest.raises(
+            BinaryTraceError, match=r"the trace name at byte 10"
+        ):
+            read_binary(io.BytesIO(data[:12]))
+
+    def test_event_truncation_names_offset(self):
+        data = self._bytes()
+        # Cutting mid-record starves a fixed-width field read; the
+        # diagnostic names the file offset where bytes ran out.
+        with pytest.raises(
+            BinaryTraceError, match=r"wanted \d+ bytes for .* at byte \d+"
+        ):
+            read_binary(io.BytesIO(data[: len(data) - 3]))
+        # Cutting exactly at a record boundary starves the next tag and
+        # names the event ordinal too.  The boundary is where a file
+        # holding only the first six events would end (the header is the
+        # same size: only the count value differs).
+        six = io.BytesIO()
+        write_binary(
+            TraceLog.from_events(
+                ALL_EVENT_SAMPLES[:6], name="io-test",
+                description="round trip sample",
+            ),
+            six,
+        )
+        cut = len(six.getvalue())
+        with pytest.raises(
+            BinaryTraceError, match=r"the tag of event 7 of 7 at byte \d+"
+        ):
+            read_binary(io.BytesIO(data[:cut]))
+
+    def test_columnar_reader_reports_offsets_too(self):
+        data = self._bytes()
+        with pytest.raises(
+            BinaryTraceError, match=r"event \d+ of 7 is incomplete at byte \d+"
+        ):
+            read_binary_columns(io.BytesIO(data[: len(data) - 3]))
+
+    def test_inflated_count_is_a_diagnostic_not_memoryerror(self):
+        import struct as _struct
+
+        log = sample_log()
+        raw = bytearray(self._bytes())
+        # The u32 count follows magic, u16+name, u16+desc.
+        name = log.name.encode()
+        desc = log.description.encode()
+        idx = raw.index(name) + len(name) + 2 + len(desc)
+        _struct.pack_into("<I", raw, idx, 10_000_000)
+        with pytest.raises(BinaryTraceError, match="header claims 10000000"):
+            read_binary_columns(io.BytesIO(bytes(raw)))
+
+
+class TestIterBinary:
+    """The streaming event reader behind corpus packing."""
+
+    def _path(self, tmp_path) -> str:
+        path = tmp_path / "t.btrace"
+        write_binary(sample_log(), str(path))
+        return str(path)
+
+    def test_streams_same_events_as_read_binary(self, tmp_path):
+        path = self._path(tmp_path)
+        with iter_binary(path) as stream:
+            assert stream.name == "io-test"
+            assert stream.description == "round trip sample"
+            assert stream.count == 7
+            assert list(stream) == read_binary(path).events
+
+    def test_accepts_open_file_object(self):
+        buf = io.BytesIO()
+        write_binary(sample_log(), buf)
+        buf.seek(0)
+        stream = iter_binary(buf)
+        assert list(stream) == sample_log().events
+        stream.close()
+        assert not buf.closed  # not owned, so not closed
+
+    def test_owned_handle_closed_on_exit(self, tmp_path):
+        path = self._path(tmp_path)
+        with iter_binary(path) as stream:
+            fh = stream._fh
+        assert fh.closed
+
+    def test_truncation_mid_stream_is_diagnosed(self, tmp_path):
+        path = tmp_path / "cut.btrace"
+        buf = io.BytesIO()
+        write_binary(sample_log(), buf)
+        path.write_bytes(buf.getvalue()[:-3])
+        with iter_binary(str(path)) as stream:
+            with pytest.raises(
+                BinaryTraceError, match=r"wanted \d+ bytes for .* at byte \d+"
+            ):
+                list(stream)
+
+    def test_bad_header_closes_owned_handle(self, tmp_path):
+        path = tmp_path / "bad.btrace"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(BinaryTraceError, match="magic"):
+            iter_binary(str(path))

@@ -199,3 +199,80 @@ class TestGenerateMany:
     def test_output_count_mismatch_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="outputs"):
             generate_many([(UCBARPA, 1)], outputs=[])
+
+
+class TestCorpusSpool:
+    """Generation straight into a sharded .bcorpus corpus."""
+
+    def test_bcorpus_spool_bit_identical_to_in_memory(self, tmp_path):
+        from repro.corpus import CorpusReader
+
+        path = tmp_path / "a.bcorpus"
+        result = generate(UCBARPA, seed=3, duration=120.0,
+                          spool=str(path), spool_buffer=64)
+        reference = generate(UCBARPA, seed=3, duration=120.0)
+        assert result.events_spooled == len(reference.trace)
+        assert 0 < result.peak_buffered <= 64
+        assert result.segments_spooled == -(-len(reference.trace) // 64)
+        with CorpusReader(path) as reader:
+            assert reader.name == "A5"
+            assert list(reader.iter_events()) == reference.trace.events
+            reader.verify()
+
+    def test_empty_generation_leaves_valid_corpus(self, tmp_path):
+        # Zero-duration synthesis: the spool must still close into a
+        # readable, empty corpus (the empty-segment-flush edge).
+        from repro.corpus import CorpusReader
+
+        path = tmp_path / "empty.bcorpus"
+        result = generate(UCBARPA, seed=5, duration=0.0,
+                          spool=str(path), spool_buffer=64)
+        assert result.events_spooled == 0
+        with CorpusReader(path) as reader:
+            assert len(reader) == 0
+
+    def test_buffer_boundary_off_by_one(self, tmp_path):
+        # Spool with a buffer of exactly the event count, one less, and
+        # one more: all must produce the same decoded events.
+        from repro.corpus import CorpusReader
+
+        reference = generate(UCBARPA, seed=6, duration=60.0)
+        n = len(reference.trace)
+        assert n > 2
+        for buffer_events in (n - 1, n, n + 1):
+            path = tmp_path / f"b{buffer_events}.bcorpus"
+            generate(UCBARPA, seed=6, duration=60.0,
+                     spool=str(path), spool_buffer=buffer_events)
+            with CorpusReader(path) as reader:
+                assert list(reader.iter_events()) == reference.trace.events
+
+    def test_generate_many_mixed_sinks(self, tmp_path):
+        from repro.corpus import CorpusReader
+
+        pairs = [(UCBARPA, 1), (UCBCAD, 2)]
+        outputs = [str(tmp_path / "a.bcorpus"), str(tmp_path / "c.btrace")]
+        summaries = generate_many(pairs, duration=60.0, jobs=2,
+                                  outputs=outputs, spool_buffer=64)
+        assert [s.trace_name for s in summaries] == ["A5", "C4"]
+        assert summaries[0].segments > 0
+        assert summaries[1].segments == 0  # .btrace spool has no segments
+        with CorpusReader(outputs[0]) as reader:
+            assert len(reader) == summaries[0].events
+        assert len(read_binary(outputs[1])) == summaries[1].events
+
+
+class TestGenerateManyRejections:
+    def test_duplicate_profile_seed_pairs_rejected(self):
+        with pytest.raises(ValueError, match="identical traces"):
+            generate_many([(UCBARPA, 1), (UCBARPA, 1)], duration=60.0)
+
+    def test_same_profile_different_seeds_allowed(self):
+        results = generate_many([(UCBARPA, 1), (UCBARPA, 2)], duration=60.0,
+                                jobs=1)
+        assert len(results) == 2
+
+    def test_duplicate_output_paths_rejected(self, tmp_path):
+        out = str(tmp_path / "same.btrace")
+        with pytest.raises(ValueError, match="clobber"):
+            generate_many([(UCBARPA, 1), (UCBCAD, 2)], duration=60.0,
+                          outputs=[out, out])
