@@ -108,7 +108,10 @@ def _window_analysis(
     counts = [float(len(a)) for a in active]
     throughputs: list[float] = []
     for i in range(n_intervals):
-        for uid in active[i]:
+        # sorted() pins the summation order _mean_std sees — set order
+        # would be hash-dependent, and the vectorized engine must feed
+        # _mean_std the identical float sequence to stay bit-identical.
+        for uid in sorted(active[i]):
             throughputs.append(bytes_by_user[i].get(uid, 0) / window)
     mean_active, std_active = _mean_std(counts)
     mean_tp, std_tp = _mean_std(throughputs)

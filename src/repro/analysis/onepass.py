@@ -58,6 +58,7 @@ from ..trace.columns import (
     cached_columns,
 )
 from ..trace.log import TraceLog
+from ..trace.npview import resolve_engine
 from ..trace.records import AccessMode
 from .accesses import FileAccess, Run, Transfer, transfers_from_accesses
 from .activity import ActivityReport, _window_analysis
@@ -101,6 +102,26 @@ class OnePassReport:
     lifetime_by_files: Cdf
     lifetime_by_bytes: Cdf
     daemon_spike: float
+
+    # The vectorized engine defers the object-heavy fields (accesses,
+    # transfers, lifetimes, popularity) behind thunks in ``_lazy``:
+    # building tens of thousands of dataclass instances eagerly would
+    # cost more than its entire scan.  Reports built by the pure-Python
+    # path never carry ``_lazy`` and never enter this hook.
+    def __getattr__(self, name: str):
+        lazy = self.__dict__.get("_lazy")
+        if lazy and name in lazy:
+            value = lazy.pop(name)()
+            setattr(self, name, value)
+            return value
+        raise AttributeError(name)
+
+    def __getstate__(self):
+        for name in ("accesses", "transfers", "lifetimes", "popularity"):
+            getattr(self, name)  # materialize for pickling/copying
+        state = dict(self.__dict__)
+        state.pop("_lazy", None)
+        return state
 
     def render(self) -> str:
         """The full report, section for section what ``repro-fs analyze
@@ -384,14 +405,30 @@ def analyze_onepass(
     long_window: float = 600.0,
     short_window: float = 10.0,
     burst_window: float = 10.0,
+    engine: str = "auto",
 ) -> OnePassReport:
     """Run every reference-pattern analysis in one loop over *source*.
 
     Accepts a :class:`TraceLog` (columnarized through the per-log memo) or
     a :class:`TraceColumns` directly, e.g. straight from
     :func:`~repro.trace.io_binary.read_binary_columns`.
+
+    *engine* selects the scan implementation: ``"auto"`` (the default)
+    uses the numpy fast path when numpy is importable and falls back to
+    this module's loop otherwise (or whenever the vectorized kernel
+    cannot replicate an exotic input bit-for-bit); ``"python"`` and
+    ``"numpy"`` force one side.  Both produce identical reports.
     """
     cols = cached_columns(source) if isinstance(source, TraceLog) else source
+    if resolve_engine(engine) == "numpy":
+        from .vectorized import VectorFallback, analyze_columns_numpy
+
+        try:
+            return analyze_columns_numpy(
+                cols, long_window, short_window, burst_window
+            )
+        except VectorFallback:
+            pass
     n = len(cols.kinds)
     start = cols.times[0] if n else 0.0
     duration = (cols.times[-1] - start) if n else 0.0

@@ -33,6 +33,7 @@ and ``analyze`` accept it directly and stream it segment by segment.
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 from pathlib import Path
@@ -75,6 +76,7 @@ from ..trace.intervals import interval_stats
 from ..trace.io_binary import read_binary, write_binary
 from ..trace.io_text import read_text, write_text
 from ..trace.log import TraceLog
+from ..trace.npview import ENGINES, numpy_available
 from ..trace.stats import compute_stats
 from ..trace.validate import DEFAULT_MAX_PROBLEMS, validate
 from ..workload.generator import generate, generate_many
@@ -212,7 +214,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         # in-RAM validator uses, so the report is identical.
         from ..corpus import validate_corpus
 
-        report = validate_corpus(args.trace, max_problems=args.max_problems)
+        report = validate_corpus(
+            args.trace, max_problems=args.max_problems, engine=args.engine
+        )
         print(report)
         for problem in report.problems:
             print(f"  {problem}")
@@ -226,7 +230,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         subject = read_binary_columns(args.trace)
     else:
         subject = _load_trace(args.trace)
-    report = validate(subject, max_problems=args.max_problems)
+    report = validate(subject, max_problems=args.max_problems, engine=args.engine)
     print(report)
     for problem in report.problems:
         print(f"  {problem}")
@@ -265,14 +269,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         # section — every section is a field of the fused report.
         from ..corpus import analyze_corpus
 
-        print(_render_onepass_section(analyze_corpus(args.trace), args.report))
+        print(_render_onepass_section(
+            analyze_corpus(args.trace, engine=args.engine), args.report
+        ))
         return 0
     log = _load_trace(args.trace)
     wanted = args.report
     if wanted == "all":
         # The full report comes from the fused single-pass analyzer; the
         # per-report branches below keep exercising the reference modules.
-        print(analyze_onepass(log).render())
+        print(analyze_onepass(log, engine=args.engine).render())
         return 0
     if wanted in ("activity", "all"):
         print(analyze_activity(log).render())
@@ -596,7 +602,11 @@ def _cmd_corpus_verify(args: argparse.Namespace) -> int:
         with CorpusReader(args.corpus) as reader:
             checked = reader.verify()
         # Then the sharded stats re-derivation, one job per segment.
-        map_segments(verify_segment_job, args.corpus, jobs=_jobs(args))
+        map_segments(
+            functools.partial(verify_segment_job, engine=args.engine),
+            args.corpus,
+            jobs=_jobs(args),
+        )
     except CorpusError as error:
         print(f"corrupt: {error}", file=sys.stderr)
         return 1
@@ -610,6 +620,23 @@ def _cmd_convert_strace(args: argparse.Namespace) -> int:
     print(stats.summary())
     print(f"wrote {args.output} ({len(log)} events)")
     return 0
+
+
+def _engine_arg(text: str) -> str:
+    if text == "numpy" and not numpy_available():
+        raise argparse.ArgumentTypeError(
+            "numpy engine requested but numpy is unavailable "
+            "(not installed, or disabled via REPRO_NO_NUMPY)"
+        )
+    return text
+
+
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine", choices=ENGINES, default="auto", type=_engine_arg,
+        help="scan implementation: auto picks the numpy fast path when "
+        "available, python/numpy force one side (results are identical)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -656,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default=DEFAULT_MAX_PROBLEMS,
                    help="cap on reported problems before truncation "
                    f"(default: {DEFAULT_MAX_PROBLEMS})")
+    _add_engine_arg(p)
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("analyze", help="reference-pattern analysis")
@@ -666,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "lifetimes", "users", "burstiness", "all"],
         default="all",
     )
+    _add_engine_arg(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("simulate", help="one block-cache simulation")
@@ -847,6 +876,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--jobs", type=_positive_int, default=None,
                    help="worker processes for the per-segment pass "
                    "(default: CPU count, capped)")
+    _add_engine_arg(c)
     c.set_defaults(func=_cmd_corpus_verify)
 
     p = sub.add_parser("convert-strace", help="convert strace -f -ttt output")

@@ -21,6 +21,7 @@ from typing import Any, Callable, Sequence, Union
 
 from ..parallel.executor import run_jobs
 from ..trace.columns import TraceColumns
+from ..trace.npview import resolve_engine
 from .format import CorpusError
 from .reader import CorpusReader
 
@@ -80,7 +81,9 @@ def segment_kind_counts(
     return {kind: n for kind in range(1, 8) if (n := cols.kinds.count(kind))}
 
 
-def verify_segment_job(cols: TraceColumns, stat: Any, index: int) -> str:
+def verify_segment_job(
+    cols: TraceColumns, stat: Any, index: int, engine: str = "auto"
+) -> str:
     """Re-derive one segment's footer statistics from its data.
 
     Returns ``"ok"``; a mismatch raises :class:`CorpusError`.  Note this
@@ -88,7 +91,8 @@ def verify_segment_job(cols: TraceColumns, stat: Any, index: int) -> str:
     the crc check lives in :meth:`CorpusReader.verify_segment` (workers
     re-reading the segment through a fresh reader exercise that path via
     ``map_segments(verify_segment_job, ..., )`` only indirectly, so
-    ``corpus verify`` runs the reader-level check too).
+    ``corpus verify`` runs the reader-level check too).  *engine* picks
+    how the min/max/histogram scans run; both raise identical errors.
     """
     n = len(cols.kinds)
     if n != stat.count:
@@ -96,21 +100,39 @@ def verify_segment_job(cols: TraceColumns, stat: Any, index: int) -> str:
             f"segment {index}: {n} rows decoded but footer recorded "
             f"{stat.count}"
         )
-    checks = (
-        ("first time", cols.times[0], stat.time_first),
-        ("last time", cols.times[n - 1], stat.time_last),
-        ("min user id", min(cols.user_ids), stat.user_lo),
-        ("max user id", max(cols.user_ids), stat.user_hi),
-        ("min file id", min(cols.file_ids), stat.file_lo),
-        ("max file id", max(cols.file_ids), stat.file_hi),
-    )
+    if resolve_engine(engine) == "numpy":
+        from ..trace.npview import column_views, np
+
+        v = column_views(cols)
+        checks = (
+            ("first time", float(v.times[0]), stat.time_first),
+            ("last time", float(v.times[n - 1]), stat.time_last),
+            ("min user id", int(v.user_ids.min()), stat.user_lo),
+            ("max user id", int(v.user_ids.max()), stat.user_hi),
+            ("min file id", int(v.file_ids.min()), stat.file_lo),
+            ("max file id", int(v.file_ids.max()), stat.file_hi),
+        )
+        hist = tuple(
+            np.bincount(v.flags, minlength=len(stat.flag_hist))[
+                : len(stat.flag_hist)
+            ].tolist()
+        )
+    else:
+        checks = (
+            ("first time", cols.times[0], stat.time_first),
+            ("last time", cols.times[n - 1], stat.time_last),
+            ("min user id", min(cols.user_ids), stat.user_lo),
+            ("max user id", max(cols.user_ids), stat.user_hi),
+            ("min file id", min(cols.file_ids), stat.file_lo),
+            ("max file id", max(cols.file_ids), stat.file_hi),
+        )
+        hist = tuple(cols.flags.count(v) for v in range(len(stat.flag_hist)))
     for label, got, want in checks:
         if got != want:
             raise CorpusError(
                 f"segment {index}: {label} is {got} but footer recorded "
                 f"{want}"
             )
-    hist = tuple(cols.flags.count(v) for v in range(len(stat.flag_hist)))
     if hist != tuple(stat.flag_hist):
         raise CorpusError(
             f"segment {index}: flag histogram {hist} does not match "

@@ -16,6 +16,7 @@ import os
 from typing import Union
 
 from ..analysis.onepass import OnePassCollector, OnePassReport
+from ..trace.npview import resolve_engine
 from ..trace.validate import (
     DEFAULT_MAX_PROBLEMS,
     ValidationReport,
@@ -40,19 +41,40 @@ def analyze_corpus(
     long_window: float = 600.0,
     short_window: float = 10.0,
     burst_window: float = 10.0,
+    engine: str = "auto",
 ) -> OnePassReport:
     """Run the full one-pass analysis over a corpus without loading it.
 
     *src* is a :class:`CorpusReader` (left open) or a path (opened and
     closed here).  The report is bit-identical to
     ``analyze_onepass(reader.to_columns())`` — checked continuously by
-    the fuzz harness's corpus pillar.
+    the fuzz harness's corpus pillar.  *engine* picks the scan
+    implementation; the numpy path views each segment's columns zero-copy
+    (straight into the mmap) and falls back to the Python collector by
+    re-reading the corpus when the input needs it.
     """
     reader, own = _open(src)
     try:
         stats = reader.stats
         start = stats[0].time_first if stats else 0.0
         duration = (stats[-1].time_last - start) if stats else 0.0
+        if resolve_engine(engine) == "numpy":
+            from ..analysis.vectorized import VectorFallback, VectorizedCollector
+
+            try:
+                collector = VectorizedCollector(
+                    reader.name,
+                    start,
+                    duration,
+                    long_window=long_window,
+                    short_window=short_window,
+                    burst_window=burst_window,
+                )
+                for cols in reader.iter_segments():
+                    collector.feed(cols)
+                return collector.finish()
+            except VectorFallback:
+                pass  # segments re-iterate cleanly; rerun in Python
         collector = OnePassCollector(
             reader.name,
             start,
@@ -72,15 +94,28 @@ def analyze_corpus(
 def validate_corpus(
     src: _ReaderOrPath,
     max_problems: int = DEFAULT_MAX_PROBLEMS,
+    engine: str = "auto",
 ) -> ValidationReport:
     """Check every tracer invariant across a corpus, segment by segment.
 
     Problem messages carry global event indices (the tracker state and
     the index base persist across segment boundaries), so the report
-    matches ``validate_columns(reader.to_columns())`` exactly.
+    matches ``validate_columns(reader.to_columns())`` exactly.  *engine*
+    picks the implementation; both produce identical reports.
     """
     reader, own = _open(src)
     try:
+        if resolve_engine(engine) == "numpy":
+            from ..analysis.vectorized import VectorizedValidator
+
+            validator = VectorizedValidator(
+                len(reader), max_problems=max_problems
+            )
+            base = 0
+            for cols in reader.iter_segments():
+                validator.feed(cols, base)
+                base += len(cols.kinds)
+            return validator.finish()
         report = ValidationReport(
             event_count=len(reader), max_problems=max_problems
         )

@@ -23,6 +23,10 @@ inputs:
   write-path equivalence, bit-exact segment round-trips,
   streamed-vs-in-RAM analyze/validate differentials, and
   :class:`CorpusFaultPlan` corruption schedules;
+* :mod:`repro.fuzz.engines` — the vectorized-engine pillar: the numpy
+  kernels of :mod:`repro.analysis.vectorized` (analyzer, validator,
+  packed-stream compiler) versus their pure-Python twins, required
+  bit-identical (skipped when numpy is not installed);
 * :mod:`repro.fuzz.shrink` — ddmin-style reduction of failing event and
   op sequences, and the on-disk repro corpus;
 * :mod:`repro.fuzz.runner` — the budgeted driver behind ``repro-fs
@@ -36,6 +40,7 @@ from .corpus import (
     check_corpus_roundtrip,
     check_corpus_streaming,
 )
+from .engines import check_engines
 from .faults import FaultPlan, NetfsFaults
 from .gen import SyscallOp, random_ops, random_trace
 from .oracles import Divergence
@@ -53,6 +58,7 @@ __all__ = [
     "check_corpus_corruption",
     "check_corpus_roundtrip",
     "check_corpus_streaming",
+    "check_engines",
     "random_ops",
     "random_trace",
     "run_fuzz",

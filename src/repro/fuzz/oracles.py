@@ -67,7 +67,7 @@ _ORACLE_POLICIES = (WRITE_THROUGH, FLUSH_30S, DELAYED_WRITE)
 class Divergence:
     """One confirmed failure, as reported and written to the corpus."""
 
-    pillar: str  # "replay" | "io" | "analysis" | "cache" | "fault" | "corpus" | "netfs"
+    pillar: str  # "replay" | "io" | "analysis" | "cache" | "fault" | "corpus" | "netfs" | "engine"
     detail: str
     seed: str = ""  # generator seed string that produced the input
     shrunk_events: int | None = None  # repro size after shrinking

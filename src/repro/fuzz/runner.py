@@ -1,6 +1,6 @@
 """The fuzz driver behind ``repro-fs fuzz``.
 
-One *round* = one seeded burst through all four pillars:
+One *round* = one seeded burst through all five pillars:
 
 1. generate a random-but-valid syscall sequence, execute it on a fresh
    traced kernel with the :class:`~repro.fuzz.replay.ReplayChecker`
@@ -16,7 +16,11 @@ One *round* = one seeded burst through all four pillars:
 4. shard the synthetic trace through the out-of-core corpus codec
    (:mod:`repro.fuzz.corpus`): write-path equivalence, bit-exact
    read-back, streamed-vs-in-RAM analyze/validate, and a
-   :class:`~repro.fuzz.corpus.CorpusFaultPlan` corruption schedule.
+   :class:`~repro.fuzz.corpus.CorpusFaultPlan` corruption schedule;
+5. compare the vectorized (numpy) analysis engine against its
+   pure-Python twin on the synthetic trace (:mod:`repro.fuzz.engines`):
+   analyzer, validator (clean and spoiled), and packed-stream compiler,
+   all required bit-identical.  Skipped when numpy is not installed.
 
 Every round is a pure function of ``(seed, round_index)``, so any
 failure is replayable; failures are ddmin-shrunk to a minimal event
@@ -35,7 +39,9 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..trace.log import TraceLog
+from ..trace.npview import numpy_available
 from .corpus import CorpusFaultPlan, check_corpus_all, check_corpus_corruption
+from .engines import check_engines_all
 from .faults import FaultPlan, check_corruption, check_netfs_convergence
 from .gen import SyscallOp, apply_ops, random_ops, random_trace
 from .oracles import Divergence, canonicalize_times, check_all
@@ -79,6 +85,7 @@ class FuzzReport:
     corpus_events: int = 0
     corpus_corruptions: int = 0
     netfs_checks: int = 0
+    engine_events: int = 0
     corpus_replayed: int = 0
     divergences: list[Divergence] = field(default_factory=list)
 
@@ -96,6 +103,7 @@ class FuzzReport:
             f"{self.corpus_events} events through the corpus codec, "
             f"{self.corpus_corruptions} corpus corruptions, "
             f"{self.netfs_checks} netfs convergence runs, "
+            f"{self.engine_events} events through the engine differential, "
             f"{self.corpus_replayed} corpus repros replayed)"
         )
 
@@ -183,6 +191,7 @@ def run_fuzz(
             check_events=lambda log: (
                 check_all(canonicalize_times(log))
                 or check_corpus_all(canonicalize_times(log))
+                or check_engines_all(canonicalize_times(log))
             ),
             check_ops=_check_ops,
         )
@@ -352,6 +361,42 @@ def run_fuzz(
                     corpus_entry=entry,
                 )
             )
+
+        # Pillar 5: the vectorized engine vs the pure-Python reference,
+        # on the same synthetic trace (no-op without numpy — there is
+        # nothing to compare against).
+        if numpy_available():
+            check = lambda log: check_engines_all(log, seed=round_seed)  # noqa: E731
+            result = check(synthetic)
+            report.engine_events += len(synthetic.events)
+            report.steps += len(synthetic.events)
+            if result is not None:
+                pillar, detail = result
+                say(
+                    f"round {round_index}: FAIL [{pillar}] {detail}; shrinking ..."
+                )
+                shrunk, detail = _shrink_events(
+                    list(synthetic.events), pillar, check=check
+                )
+                entry = None
+                if config.corpus:
+                    entry = write_corpus_entry(
+                        config.corpus,
+                        name=f"engine-{config.seed}-{round_index}",
+                        pillar=pillar,
+                        detail=detail,
+                        seed=round_seed,
+                        events=shrunk,
+                    )
+                report.divergences.append(
+                    Divergence(
+                        pillar=pillar,
+                        detail=detail,
+                        seed=round_seed,
+                        shrunk_events=len(shrunk),
+                        corpus_entry=entry,
+                    )
+                )
 
         # Pillar 3, network half: lossy RPC must converge (periodically —
         # the event-loop run is the most expensive oracle here).

@@ -33,6 +33,7 @@ from ..cache.metrics import CacheMetrics
 from ..cache.policies import DELAYED_WRITE, PolicySpec, WritePolicy
 from ..cache.stream import Invalidation, StreamItem, cached_stream, memoize_per_log
 from ..trace.log import TraceLog
+from ..trace.npview import resolve_engine
 
 __all__ = [
     "OP_READ",
@@ -82,9 +83,25 @@ class PackedStream:
 
 
 def pack_stream(
-    stream: list[StreamItem], block_size: int, start_time: float = 0.0
+    stream: list[StreamItem],
+    block_size: int,
+    start_time: float = 0.0,
+    engine: str = "auto",
 ) -> PackedStream:
-    """Compile *stream* (from ``build_stream``) for *block_size*."""
+    """Compile *stream* (from ``build_stream``) for *block_size*.
+
+    *engine* selects the implementation: ``"auto"`` expands blocks with
+    the numpy fast path when available (bit-identical packed streams;
+    fuzz pillar 5 checks this continuously), ``"python"``/``"numpy"``
+    force one side.
+    """
+    if resolve_engine(engine) == "numpy":
+        from ..analysis.vectorized import VectorFallback, pack_stream_numpy
+
+        try:
+            return pack_stream_numpy(stream, block_size, start_time)
+        except VectorFallback:
+            pass
     if block_size <= 0:
         raise ValueError(f"block size must be positive, got {block_size}")
     bs = block_size

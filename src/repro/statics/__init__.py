@@ -29,6 +29,8 @@ REP-P001   error     sweep-executor workers must pickle by reference
 REP-P002   error     workers must not mutate module-level state
 REP-H001   warning   hot-path classes must define ``__slots__``
 REP-H002   error     no float ``==``/``!=`` in simulator code
+REP-H003   warning   no per-event loops over trace columns outside the
+                     reference-oracle modules (vectorize instead)
 REP-S001   error     trace schema agrees across records/columns/io_binary
 REP-S002   error     corpus on-disk schema digest matches SCHEMA_DIGESTS
 REP-A000   error     suppressions must name a rule id and a justification

@@ -12,6 +12,8 @@ __all__ = [
     "ORDER_PINNED_PACKAGES",
     "SIMULATOR_PACKAGES",
     "HOT_MODULES",
+    "TRACE_COLUMN_ATTRS",
+    "COLUMN_ORACLE_MODULES",
     "in_packages",
 ]
 
@@ -56,6 +58,41 @@ HOT_MODULES: tuple[str, ...] = (
     "repro.netfs.events",
     "repro.trace.columns",
     "repro.trace.records",
+)
+
+
+#: The eight column attributes of ``TraceColumns`` (the struct-of-arrays
+#: row layout shared with ``.bcorpus`` segments and the numpy views).
+TRACE_COLUMN_ATTRS: frozenset[str] = frozenset(
+    {
+        "kinds",
+        "times",
+        "open_ids",
+        "file_ids",
+        "user_ids",
+        "sizes",
+        "positions",
+        "flags",
+    }
+)
+
+#: Modules allowed to loop row-at-a-time over trace columns: the
+#: columnar store and codecs themselves, plus the pure-Python reference
+#: implementations the vectorized engine is differenced against (the
+#: oracle discipline of DESIGN.md — the slow path must stay readable
+#: and row-at-a-time *because* it is the spec).  Everywhere else a
+#: per-event loop over a column is a latent hot-path regression: route
+#: it through :mod:`repro.analysis.vectorized` or justify it with
+#: ``# repro: allow[REP-H003]``.
+COLUMN_ORACLE_MODULES: tuple[str, ...] = (
+    "repro.analysis.onepass",
+    "repro.corpus.reader",
+    "repro.corpus.stream",
+    "repro.corpus.writer",
+    "repro.parallel.packed",
+    "repro.trace.columns",
+    "repro.trace.io_binary",
+    "repro.trace.validate",
 )
 
 

@@ -10,6 +10,17 @@
   errors.  Simulated clocks are running sums of float intervals; exact
   equality against a float literal is a latent never-fires (or
   always-fires) branch.
+* ``REP-H003`` — per-event loops over :class:`TraceColumns` columns
+  (``for t in cols.times``, ``enumerate(cols.kinds)``,
+  ``range(len(cols.kinds))``, including through a local alias) are
+  flagged outside the designated reference-oracle modules
+  (:data:`repro.statics.config.COLUMN_ORACLE_MODULES`).  The oracles
+  *must* stay row-at-a-time — they are the spec the vectorized engine
+  is differenced against — but anywhere else such a loop is a hot-path
+  regression waiting to be profiled: use the numpy views
+  (:mod:`repro.trace.npview`) and the kernels in
+  :mod:`repro.analysis.vectorized`, or justify the loop with
+  ``# repro: allow[REP-H003]``.
 """
 
 from __future__ import annotations
@@ -120,6 +131,132 @@ def check_slots(ctx: ModuleContext) -> Iterator[Finding]:
                 "of every sweep — add `__slots__` or "
                 "`@dataclass(slots=True)`",
             )
+
+
+#: Builtins whose iteration is row-at-a-time over their argument.
+_ITER_WRAPPERS = frozenset({"zip", "enumerate", "reversed", "iter", "map"})
+
+
+def _is_column_value(node: ast.expr, bound: frozenset[str]) -> str | None:
+    """The column name when *node* evaluates to a trace column.
+
+    Matches a direct ``<anything>.times``-style attribute access and
+    local names previously bound from one (``kinds = cols.kinds``).
+    """
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in config.TRACE_COLUMN_ATTRS
+    ):
+        return node.attr
+    if isinstance(node, ast.Name) and node.id in bound:
+        return node.id
+    return None
+
+
+def _loops_over_column(
+    iter_node: ast.expr, bound: frozenset[str]
+) -> str | None:
+    """The column name when *iter_node* iterates a column row-at-a-time."""
+    direct = _is_column_value(iter_node, bound)
+    if direct is not None:
+        return direct
+    if not (
+        isinstance(iter_node, ast.Call)
+        and isinstance(iter_node.func, ast.Name)
+    ):
+        return None
+    fname = iter_node.func.id
+    if fname in _ITER_WRAPPERS:
+        for arg in iter_node.args:
+            name = _is_column_value(arg, bound)
+            if name is not None:
+                return name
+    if fname == "range":
+        for arg in iter_node.args:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "len"
+                and arg.args
+            ):
+                name = _is_column_value(arg.args[0], bound)
+                if name is not None:
+                    return name
+    return None
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk *scope* without descending into nested function scopes
+    (each function gets its own pass with its own local bindings)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _column_locals(scope: ast.AST) -> frozenset[str]:
+    """Local names assigned directly from a column attribute in a scope."""
+    names: set[str] = set()
+    for node in _scope_nodes(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        if (
+            isinstance(node.value, ast.Attribute)
+            and node.value.attr in config.TRACE_COLUMN_ATTRS
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+@rule(
+    "REP-H003",
+    "per-event loop over trace columns outside the reference oracles",
+    Severity.WARNING,
+)
+def check_column_loops(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.module.startswith("repro."):
+        return
+    if ctx.module in config.COLUMN_ORACLE_MODULES:
+        return
+    for scope in ast.walk(ctx.tree):
+        if not isinstance(
+            scope, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        bound = _column_locals(scope)
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.For):
+                hits = [(_loops_over_column(node.iter, bound), node)]
+            elif isinstance(node, _COMPREHENSIONS):
+                hits = [
+                    (_loops_over_column(gen.iter, bound), node)
+                    for gen in node.generators
+                ]
+            else:
+                continue
+            for column, at in hits:
+                if column is None:
+                    continue
+                yield _finding(
+                    ctx,
+                    "REP-H003",
+                    at,
+                    Severity.WARNING,
+                    f"per-event loop over trace column `{column}` outside "
+                    "the reference oracles; hot paths belong on the "
+                    "vectorized engine (repro.trace.npview views + "
+                    "repro.analysis.vectorized kernels) — if this loop IS "
+                    "a reference implementation, justify it with "
+                    "`# repro: allow[REP-H003]`",
+                )
 
 
 @rule("REP-H002", "float equality comparison in simulator code")

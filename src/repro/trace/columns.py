@@ -106,6 +106,7 @@ class TraceColumns:
         "sizes",
         "positions",
         "flags",
+        "_kind_hist",
     )
 
     def __init__(
@@ -131,6 +132,7 @@ class TraceColumns:
         self.sizes = sizes if sizes is not None else array("q")
         self.positions = positions if positions is not None else array("q")
         self.flags = flags
+        self._kind_hist: tuple[tuple, dict[int, int]] | None = None
         n = len(self.kinds)
         for column in (
             self.times,
@@ -296,10 +298,28 @@ class TraceColumns:
         return self.end_time - self.start_time
 
     def count(self, kind: str) -> int:
-        """Number of events whose kind label equals *kind*."""
+        """Number of events whose kind label equals *kind*.
+
+        The full per-kind histogram is tallied on first use and cached,
+        so N ``count`` calls cost one tally, not N scans.  The cache is
+        stamped with the ``kinds`` buffer's identity and length — the
+        same staleness convention the per-log memo table uses: replacing
+        a column invalidates it, and the immutable ``bytes`` kinds every
+        reader and ``from_log`` produce cannot change behind the stamp.
+        """
+        stamp = (id(self.kinds), len(self.kinds))
+        cached = self._kind_hist
+        if cached is None or cached[0] != stamp:
+            hist: dict[int, int] = {}
+            for tag in KIND_LABELS:
+                n = self.kinds.count(tag)
+                if n:
+                    hist[tag] = n
+            self._kind_hist = cached = (stamp, hist)
+        hist = cached[1]
         for tag, label in KIND_LABELS.items():
             if label == kind:
-                return self.kinds.count(tag)
+                return hist.get(tag, 0)
         return 0
 
     def nbytes(self) -> int:

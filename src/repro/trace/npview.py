@@ -1,0 +1,135 @@
+"""Zero-copy numpy views over :class:`~repro.trace.columns.TraceColumns`.
+
+The vectorized engine (:mod:`repro.analysis.vectorized`) consumes trace
+columns as flat ``numpy`` arrays.  This module is the only place that
+knows how to get them: ``np.frombuffer`` over the existing buffers —
+``array('d')``/``array('q')`` for in-RAM traces, ``memoryview`` slices
+straight into the mmap for ``.bcorpus`` segments, ``bytes`` for the kind
+and flag columns — so building the views copies nothing and costs O(1)
+per column regardless of trace length.
+
+Native dtypes are correct on every host: in-RAM ``array`` columns are
+native-endian by construction, and :class:`~repro.corpus.reader.CorpusReader`
+already normalizes segment columns to native order (zero-copy casts on
+little-endian hosts, byteswapped copies on big-endian ones).
+
+numpy is strictly optional.  :func:`numpy_available` is the single
+gate: it is False when numpy is not importable *or* when the
+``REPRO_NO_NUMPY`` environment variable is set, and every dispatch site
+(:func:`resolve_engine`) honors it, so the pure-Python paths keep
+working — and keep being exercised — without numpy installed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .columns import TraceColumns
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "ENGINES",
+    "ColumnViews",
+    "as_f64",
+    "as_i64",
+    "as_u8",
+    "column_views",
+    "numpy_available",
+    "resolve_engine",
+]
+
+#: The engine names every ``engine=`` parameter and ``--engine`` flag accepts.
+ENGINES = ("auto", "python", "numpy")
+
+
+def numpy_available() -> bool:
+    """True when the numpy fast path may be used.
+
+    ``REPRO_NO_NUMPY=1`` (any non-empty value) disables it even with
+    numpy installed — the escape hatch for debugging and for the CI leg
+    that keeps the fallback path honest.
+    """
+    return np is not None and not os.environ.get("REPRO_NO_NUMPY")
+
+
+def resolve_engine(engine: str) -> str:
+    """Map an ``auto``/``python``/``numpy`` request to a concrete engine.
+
+    ``auto`` picks numpy when available, else python.  Requesting
+    ``numpy`` explicitly when it cannot run is an error, not a silent
+    fallback — the caller asked for the fast path and should know.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+    if engine == "auto":
+        return "numpy" if numpy_available() else "python"
+    if engine == "numpy" and not numpy_available():
+        raise RuntimeError(
+            "numpy engine requested but numpy is unavailable "
+            "(not installed, or disabled via REPRO_NO_NUMPY)"
+        )
+    return engine
+
+
+def as_f64(column):
+    """A zero-copy float64 view of an 8-byte-per-row float column."""
+    return np.frombuffer(column, dtype=np.float64)
+
+
+def as_i64(column):
+    """A zero-copy int64 view of an 8-byte-per-row integer column."""
+    return np.frombuffer(column, dtype=np.int64)
+
+
+def as_u8(column):
+    """A zero-copy uint8 view of a byte column (kinds, flags)."""
+    return np.frombuffer(column, dtype=np.uint8)
+
+
+class ColumnViews:
+    """The eight columns of one :class:`TraceColumns`, as numpy views.
+
+    Views alias the source buffers: a write through the backing
+    ``array`` is visible here (and the views themselves inherit the
+    buffer's writability — read-only over ``bytes`` and ``ACCESS_READ``
+    mmaps).  Kernels treat them as immutable inputs.
+    """
+
+    __slots__ = (
+        "kinds",
+        "times",
+        "open_ids",
+        "file_ids",
+        "user_ids",
+        "sizes",
+        "positions",
+        "flags",
+    )
+
+    def __init__(self, cols: "TraceColumns"):
+        self.kinds = as_u8(cols.kinds)
+        self.times = as_f64(cols.times)
+        self.open_ids = as_i64(cols.open_ids)
+        self.file_ids = as_i64(cols.file_ids)
+        self.user_ids = as_i64(cols.user_ids)
+        self.sizes = as_i64(cols.sizes)
+        self.positions = as_i64(cols.positions)
+        self.flags = as_u8(cols.flags)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+
+def column_views(cols: "TraceColumns") -> ColumnViews:
+    """Zero-copy numpy views over *cols* (requires numpy)."""
+    if np is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("numpy is not available")
+    return ColumnViews(cols)

@@ -93,6 +93,7 @@ def test_rule_catalog_covers_documented_ids():
         "REP-P002",
         "REP-H001",
         "REP-H002",
+        "REP-H003",
         "REP-S001",
         "REP-S002",
         "REP-A000",
@@ -603,6 +604,87 @@ def test_cli_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     assert "REP-D001" in out and "REP-S001" in out
+
+
+# -- REP-H003: per-event loops over trace columns ---------------------------
+
+
+def test_column_loop_flagged_outside_oracles(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "repro/analysis/hotloop.py",
+        "def f(cols):\n    for t in cols.times:\n        print(t)\n",
+    )
+    assert _rule_ids(report) == ["REP-H003"]
+    assert report.findings[0].severity.value == "warning"
+
+
+def test_column_loop_through_alias_and_range_len_flagged(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "repro/analysis/hotloop.py",
+        "def f(cols):\n"
+        "    kinds = cols.kinds\n"
+        "    for i in range(len(kinds)):\n"
+        "        print(kinds[i])\n",
+    )
+    assert _rule_ids(report) == ["REP-H003"]
+
+
+def test_column_comprehension_and_zip_flagged(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "repro/analysis/hotloop.py",
+        "def f(cols):\n"
+        "    a = [t for t in cols.times]\n"
+        "    b = 0\n"
+        "    for fid, size in zip(cols.file_ids, cols.sizes):\n"
+        "        b += fid * size\n"
+        "    return a, b\n",
+    )
+    assert _rule_ids(report) == ["REP-H003", "REP-H003"]
+
+
+def test_column_loop_allowed_in_oracle_modules(tmp_path):
+    source = "def f(cols):\n    for t in cols.times:\n        print(t)\n"
+    for oracle in ("repro/trace/validate.py", "repro/analysis/onepass.py"):
+        assert _lint_source(tmp_path, oracle, source).ok
+
+
+def test_column_loop_suppressed_with_allow_comment(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "repro/analysis/hotloop.py",
+        "def f(cols):\n"
+        "    for t in cols.times:  "
+        "# repro: allow[REP-H003] -- reference path\n"
+        "        print(t)\n",
+    )
+    assert report.ok
+
+
+def test_column_loop_out_of_package_and_non_column_pass(tmp_path):
+    source = "def f(cols):\n    for t in cols.times:\n        print(t)\n"
+    assert _lint_source(tmp_path, "plot.py", source).ok
+    report = _lint_source(
+        tmp_path,
+        "repro/analysis/hotloop.py",
+        "def f(log):\n    for e in log.events:\n        print(e)\n",
+    )
+    assert report.ok
+
+
+def test_column_loop_in_nested_function_reported_once(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "repro/analysis/hotloop.py",
+        "def outer(cols):\n"
+        "    def inner():\n"
+        "        for t in cols.times:\n"
+        "            print(t)\n"
+        "    return inner\n",
+    )
+    assert _rule_ids(report) == ["REP-H003"]
 
 
 # -- REP-S001: trace-schema drift -------------------------------------------
