@@ -59,7 +59,7 @@ def test_sweep_speedup_jobs4_vs_serial(trace):
     assert speedup >= 2.0, f"speedup below acceptance bar: {report()}"
 
 
-def test_stack_curve_exact_at_paper_sizes(trace, bench_once):
+def test_stack_curve_exact_at_paper_sizes(trace, bench_once, benchmark):
     """Acceptance: the one-pass stack curve == serial WT miss counts."""
     stream = build_stream(trace)
     packed = cached_packed_stream(trace, 4096)
@@ -71,6 +71,11 @@ def test_stack_curve_exact_at_paper_sizes(trace, bench_once):
         got = curve.metrics(size)
         assert got == ref, f"stack curve diverged at {size} bytes"
         assert got.read_accesses + got.write_accesses == packed.n_accesses
+    benchmark.extra_info["accesses"] = packed.n_accesses
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["accesses_per_s"] = round(
+            packed.n_accesses / benchmark.stats.stats.min
+        )
 
 
 def test_sweep_throughput(trace, benchmark):
@@ -82,6 +87,12 @@ def test_sweep_throughput(trace, benchmark):
     )
     benchmark.extra_info["configs"] = len(sweep.results)
     assert len(sweep.results) == len(PAPER_CACHE_SIZES) * 4
+    accesses = cached_packed_stream(trace, 4096).n_accesses
+    benchmark.extra_info["accesses"] = accesses
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["accesses_per_s"] = round(
+            len(sweep.results) * accesses / benchmark.stats.stats.min
+        )
 
 
 def test_packed_replay_throughput(trace, benchmark):
@@ -92,3 +103,7 @@ def test_packed_replay_throughput(trace, benchmark):
     )
     benchmark.extra_info["block_accesses"] = run.metrics.block_accesses
     assert run.metrics.block_accesses == packed.n_accesses
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["accesses_per_s"] = round(
+            run.metrics.block_accesses / benchmark.stats.stats.min
+        )

@@ -2,16 +2,23 @@
 
 Each sweep decomposes into independent (stream, configuration) jobs.
 With ``jobs=1`` (the default) every configuration runs through the
-reference :class:`BlockCacheSimulator` in-process — the oracle path.
-With ``jobs>1`` the stream is compiled once per block size into a
-:class:`~repro.parallel.packed.PackedStream`, write-through columns
-collapse into a single one-pass stack traversal
-(:func:`~repro.parallel.stack.simulate_stack`), and the remaining
-configurations replay the packed stream on a process pool
-(:func:`~repro.parallel.executor.run_jobs`).  Both paths produce
-bit-identical metrics (asserted by ``tests/test_parallel.py``); results
-come back as small dataclasses with ``render()`` methods that print the
-paper's table layouts.
+reference :class:`BlockCacheSimulator` in-process — the oracle path,
+whatever the engine.  With ``jobs>1`` the stream is compiled once per
+block size into a :class:`~repro.parallel.packed.PackedStream`,
+write-through columns collapse into a single one-pass curve
+(:func:`~repro.parallel.veccache.stack_curve` — the numpy kernel when
+the engine allows, else :func:`~repro.parallel.stack.simulate_stack`),
+and the remaining configurations replay the packed stream on a process
+pool (:func:`~repro.parallel.executor.run_jobs`).  All paths produce
+bit-identical metrics (asserted by ``tests/test_parallel.py`` and
+``tests/test_veccache.py``); results come back as small dataclasses
+with ``render()`` methods that print the paper's table layouts.
+
+*engine* selects the worker-side kernels (``None`` defers to the
+ambient :func:`~repro.trace.npview.engine_context`); *pack_dir* spills
+each compiled stream to a shared ``.bpack`` file so the payload workers
+receive is a path, not pickled arrays — every process maps the same
+page-cache copy (see :mod:`repro.parallel.bpack`).
 
 Flush-back scans are anchored at the trace start in both paths (see
 :meth:`BlockCacheSimulator.run` on why).
@@ -19,13 +26,18 @@ Flush-back scans are anchored at the trace start in both paths (see
 
 from __future__ import annotations
 
+import os
+import re
+import zlib
 from dataclasses import dataclass, field
 
 from ..analysis.report import render_table
+from ..parallel.bpack import cached_bpack, write_bpack
 from ..parallel.executor import resolve_jobs, run_jobs
-from ..parallel.packed import cached_packed_stream, simulate_packed
-from ..parallel.stack import simulate_stack
+from ..parallel.packed import PackedStream, cached_packed_stream
+from ..parallel.veccache import replay_packed, stack_curve
 from ..trace.log import TraceLog
+from ..trace.npview import current_engine
 from .metrics import CacheMetrics
 from .policies import (
     DELAYED_WRITE,
@@ -90,17 +102,85 @@ def _sweep_worker(payload, job):
     Module-level so the executor can ship it to worker processes.  Jobs
     are ``("sim", packkey, cache_bytes, policy)`` returning one
     :class:`CacheMetrics`, or ``("stack", packkey, sizes)`` returning one
-    metrics object per size (write-through only).
+    metrics object per size (write-through only).  Both dispatch through
+    the engine-aware front doors, so a worker runs the numpy kernels
+    exactly when the payload's engine allows.
     """
     packed = payload["packed"][job[1]]
+    engine = payload["engine"]
     if job[0] == "stack":
         sizes = job[2]
-        curve = simulate_stack(packed, sizes)
+        curve = stack_curve(packed, sizes, engine=engine)
         return [curve.metrics(size) for size in sizes]
     _, _, cache_bytes, policy = job
-    return simulate_packed(
-        packed, cache_bytes, policy, flush_epoch=packed.start_time
+    return replay_packed(
+        packed, cache_bytes, policy, flush_epoch=packed.start_time, engine=engine
     ).metrics
+
+
+class _SweepPayload:
+    """The shared sweep payload: streams by key, or ``.bpack`` paths.
+
+    Implements the executor's ``__payload_resolve__`` protocol: path
+    entries are opened worker-side via the per-process
+    :func:`~repro.parallel.bpack.cached_bpack`, so what crosses the
+    process boundary is a few strings and every worker reads the same
+    page-cache bytes.  Resolution is memoized per process (and dropped
+    from the pickled state, so ``spawn`` workers resolve their own).
+    """
+
+    __slots__ = ("packed", "engine", "_resolved")
+
+    def __init__(self, packed: dict, engine: str):
+        self.packed = packed
+        self.engine = engine
+        self._resolved = None
+
+    def __getstate__(self):
+        return (self.packed, self.engine)
+
+    def __setstate__(self, state):
+        self.packed, self.engine = state
+        self._resolved = None
+
+    def __payload_resolve__(self):
+        if self._resolved is None:
+            self._resolved = {
+                "packed": {
+                    key: value
+                    if isinstance(value, PackedStream)
+                    else cached_bpack(value)
+                    for key, value in self.packed.items()
+                },
+                "engine": self.engine,
+            }
+        return self._resolved
+
+
+def _pack_ref(packed: PackedStream, pack_dir, trace_name: str):
+    """*packed* itself, or its path inside the shared ``.bpack`` cache.
+
+    Filenames carry the trace name, the block size, the row count and a
+    content crc, so a stale or colliding cache entry can never be
+    mistaken for this stream — a miss writes the file (atomically), a
+    hit reuses it byte-for-byte.
+    """
+    if pack_dir is None:
+        return packed
+    os.makedirs(pack_dir, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", trace_name) or "trace"
+    fp = zlib.crc32(bytes(packed.keys), zlib.crc32(bytes(packed.ops)))
+    name = (
+        f"{safe}-bs{packed.block_size}-{len(packed)}r-{fp:08x}.bpack"
+    )
+    path = os.path.join(os.fspath(pack_dir), name)
+    if not os.path.exists(path):
+        write_bpack(packed, path)
+    return path
+
+
+def _resolve_sweep_engine(engine: str | None) -> str:
+    return engine if engine is not None else current_engine()
 
 
 @dataclass
@@ -141,9 +221,12 @@ def cache_size_policy_sweep(
     policies: tuple[PolicySpec, ...] = PAPER_POLICIES,
     block_size: int = 4096,
     jobs: int | None = None,
+    engine: str | None = None,
+    pack_dir=None,
 ) -> CachePolicySweep:
     """Reproduce Figure 5 / Table VI on *log*."""
     n = resolve_jobs(jobs)
+    eng = _resolve_sweep_engine(engine)
     sweep = CachePolicySweep(
         trace_name=log.name,
         block_size=block_size,
@@ -162,7 +245,10 @@ def cache_size_policy_sweep(
                 )
         return sweep
 
-    payload = {"packed": {block_size: cached_packed_stream(log, block_size)}}
+    packed = cached_packed_stream(log, block_size, engine=eng)
+    payload = _SweepPayload(
+        {block_size: _pack_ref(packed, pack_dir, log.name)}, eng
+    )
     stack_policies = [
         p for p in policies if p.policy is WritePolicy.WRITE_THROUGH
     ]
@@ -243,9 +329,12 @@ def block_size_sweep(
     cache_sizes: tuple[int, ...] = PAPER_BLOCK_SWEEP_CACHES,
     policy: PolicySpec = DELAYED_WRITE,
     jobs: int | None = None,
+    engine: str | None = None,
+    pack_dir=None,
 ) -> BlockSizeSweep:
     """Reproduce Figure 6 / Table VII on *log*."""
     n = resolve_jobs(jobs)
+    eng = _resolve_sweep_engine(engine)
     sweep = BlockSizeSweep(
         trace_name=log.name,
         block_sizes=tuple(block_sizes),
@@ -264,7 +353,10 @@ def block_size_sweep(
                 )
         return sweep
 
-    packed = {bs: cached_packed_stream(log, bs) for bs in block_sizes}
+    packed = {bs: cached_packed_stream(log, bs, engine=eng) for bs in block_sizes}
+    payload = _SweepPayload(
+        {bs: _pack_ref(p, pack_dir, log.name) for bs, p in packed.items()}, eng
+    )
     use_stack = policy.policy is WritePolicy.WRITE_THROUGH
     jobs_list: list[tuple] = []
     for bs in block_sizes:
@@ -276,7 +368,7 @@ def block_size_sweep(
                 jobs_list.append(("sim", bs, cache, policy))
     for job, result in zip(
         jobs_list,
-        run_jobs(_sweep_worker, jobs_list, payload={"packed": packed}, jobs=n),
+        run_jobs(_sweep_worker, jobs_list, payload=payload, jobs=n),
     ):
         if job[0] == "stack":
             for cache, metrics in zip(job[2], result):
@@ -324,9 +416,12 @@ def paging_comparison(
     block_size: int = 4096,
     policy: PolicySpec = DELAYED_WRITE,
     jobs: int | None = None,
+    engine: str | None = None,
+    pack_dir=None,
 ) -> PagingComparison:
     """Reproduce Figure 7 on *log*."""
     n = resolve_jobs(jobs)
+    eng = _resolve_sweep_engine(engine)
     comparison = PagingComparison(
         trace_name=log.name, cache_sizes=tuple(cache_sizes)
     )
@@ -342,12 +437,25 @@ def paging_comparison(
             ).run(paged, flush_epoch=log.start_time)
         return comparison
 
-    payload = {
-        "packed": {
-            "plain": cached_packed_stream(log, block_size, include_paging=False),
-            "paged": cached_packed_stream(log, block_size, include_paging=True),
-        }
-    }
+    payload = _SweepPayload(
+        {
+            "plain": _pack_ref(
+                cached_packed_stream(
+                    log, block_size, include_paging=False, engine=eng
+                ),
+                pack_dir,
+                f"{log.name}-plain",
+            ),
+            "paged": _pack_ref(
+                cached_packed_stream(
+                    log, block_size, include_paging=True, engine=eng
+                ),
+                pack_dir,
+                f"{log.name}-paged",
+            ),
+        },
+        eng,
+    )
     jobs_list: list[tuple] = []
     for size in cache_sizes:
         jobs_list.append(("sim", "plain", size, policy))

@@ -76,7 +76,7 @@ from ..trace.intervals import interval_stats
 from ..trace.io_binary import read_binary, write_binary
 from ..trace.io_text import read_text, write_text
 from ..trace.log import TraceLog
-from ..trace.npview import ENGINES, numpy_available
+from ..trace.npview import ENGINES, engine_context, numpy_available
 from ..trace.stats import compute_stats
 from ..trace.validate import DEFAULT_MAX_PROBLEMS, validate
 from ..workload.generator import generate, generate_many
@@ -329,12 +329,13 @@ def _jobs(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     log = _load_trace(args.trace)
     jobs = _jobs(args)
+    kwargs = dict(jobs=jobs, engine=args.engine, pack_dir=args.pack_cache)
     if args.kind == "policy":
-        sweep = cache_size_policy_sweep(log, jobs=jobs)
+        sweep = cache_size_policy_sweep(log, **kwargs)
     elif args.kind == "blocksize":
-        sweep = block_size_sweep(log, jobs=jobs)
+        sweep = block_size_sweep(log, **kwargs)
     else:
-        print(paging_comparison(log, jobs=jobs).render())
+        print(paging_comparison(log, **kwargs).render())
         return 0
     print(sweep.render())
     if args.csv:
@@ -401,16 +402,23 @@ def _cmd_export_figures(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     log = _load_trace(args.trace)
     jobs = _jobs(args)
-    if args.all:
-        for result in run_all(log, jobs=jobs):
-            print(result)
-            print()
+    # The registry's entry points take only a trace; the engine choice
+    # reaches the sweeps beneath them (table6, fig5, fig7...) ambiently,
+    # exactly like the jobs count does through run_one/run_all.
+    with engine_context(args.engine):
+        if args.all:
+            for result in run_all(log, jobs=jobs):
+                print(result)
+                print()
+            return 0
+        if not args.id:
+            print(
+                f"available experiments: {', '.join(all_ids())}",
+                file=sys.stderr,
+            )
+            return 2
+        print(run_one(args.id, log, jobs=jobs))
         return 0
-    if not args.id:
-        print(f"available experiments: {', '.join(all_ids())}", file=sys.stderr)
-        return 2
-    print(run_one(args.id, log, jobs=jobs))
-    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -712,6 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_positive_int, default=None,
                    help="worker processes (default: CPU count, capped; "
                    "1 forces the serial reference path)")
+    p.add_argument("--pack-cache", default=None, metavar="DIR",
+                   help="directory of shared .bpack packed-stream files; "
+                   "workers mmap these instead of receiving pickled "
+                   "arrays (created and reused across runs)")
+    _add_engine_arg(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -768,6 +781,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_positive_int, default=None,
                    help="worker processes (default: CPU count, capped; "
                    "1 forces the serial reference path)")
+    _add_engine_arg(p)
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(

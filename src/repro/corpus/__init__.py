@@ -17,6 +17,9 @@ readers can seek, skip, shard, and verify without materializing events:
 - :func:`map_segments` shards one corpus across worker processes by
   segment via ``repro.parallel.run_jobs`` with deterministic merge
   order.
+- :func:`write_segment_packs` compiles per-segment ``.bpack``
+  block-access shards (:mod:`repro.parallel.bpack`) so cache sweeps can
+  fan segments out to workers zero-copy.
 
 Format spec: ``DESIGN.md`` §11 and :mod:`repro.corpus.format`.
 """
@@ -29,6 +32,7 @@ from .format import (
     SegmentStat,
     schema_digest,
 )
+from .packs import segment_pack_path, write_segment_packs
 from .parallel import map_segments, segment_kind_counts, verify_segment_job
 from .reader import CorpusReader, read_corpus_columns
 from .stream import analyze_corpus, validate_corpus
@@ -50,6 +54,8 @@ __all__ = [
     "read_corpus_columns",
     "schema_digest",
     "segment_kind_counts",
+    "segment_pack_path",
     "validate_corpus",
     "verify_segment_job",
+    "write_segment_packs",
 ]

@@ -15,7 +15,14 @@ of that claim on every seeded trace:
   duplicated open ids), at several ``max_problems`` including the
   suppression boundary;
 * :func:`~repro.parallel.packed.pack_stream` with both engines, row for
-  row, at two block sizes.
+  row, at two block sizes;
+* the vectorized cache engine (:mod:`repro.parallel.veccache`) vs the
+  one-pass stack oracle: the full miss/hit/eviction curve at
+  seed-chosen cache sizes (small ones included — they maximize hole
+  traffic), exact :class:`~repro.cache.metrics.CacheMetrics` per size,
+  checkpoint snapshots and both simulator knobs; plus the batched
+  write-through replay vs :func:`~repro.parallel.packed.simulate_packed`
+  at one seed-chosen capacity.
 
 Everything here is a no-op without numpy — the pillar checks an
 equivalence, and with one side missing there is nothing to compare.
@@ -27,8 +34,11 @@ import random
 from array import array
 
 from ..analysis.onepass import analyze_onepass
+from ..cache.policies import WRITE_THROUGH
 from ..cache.stream import build_stream
-from ..parallel.packed import pack_stream
+from ..parallel.packed import pack_stream, simulate_packed
+from ..parallel.stack import simulate_stack
+from ..parallel.veccache import simulate_packed_numpy, stack_curve_numpy
 from ..trace.columns import KIND_CLOSE, KIND_OPEN, KIND_SEEK, TraceColumns
 from ..trace.log import TraceLog
 from ..trace.npview import numpy_available
@@ -201,6 +211,61 @@ def check_engines(log: TraceLog, seed: str = "0") -> str | None:
         ref_p = pack_stream(stream, bs, start_time=log.start_time, engine="python")
         if fast != ref_p:
             return f"pack_stream(block_size={bs}): numpy engine diverges"
+        detail = _curves_differ(ref_p, rng, f"veccache[bs={bs}]")
+        if detail is not None:
+            return detail
+    return None
+
+
+def _curves_differ(packed, rng: random.Random, label: str) -> str | None:
+    """The vectorized cache engine vs the stack/replay oracles."""
+    from ..analysis.vectorized import VectorFallback
+
+    bs = packed.block_size
+    # Seed-chosen capacities, small ones first: a 1-2 block cache keeps
+    # the stack boundary pointers inside the hole churn, which is where
+    # the vectorized removal-sequence reconstruction can go wrong.
+    caps = sorted({1, 2, rng.randrange(1, 64), rng.randrange(1, 2048)})
+    sizes = tuple(c * bs for c in caps)
+    knobs = {
+        "read_elision": rng.random() < 0.5,
+        "invalidate_on_delete": rng.random() < 0.5,
+    }
+    if rng.random() < 0.5 and len(packed.times):
+        lo = packed.times[0]
+        hi = packed.times[-1]
+        knobs["checkpoint_time"] = lo + rng.random() * (hi - lo)
+    ref = simulate_stack(packed, sizes, WRITE_THROUGH, **knobs)
+    try:
+        fast = stack_curve_numpy(packed, sizes, WRITE_THROUGH, **knobs)
+    except VectorFallback:
+        # The kernel declined this input (out-of-range keys); dispatch
+        # would rerun the oracle, so there is nothing to compare.
+        return None
+    for size in sizes:
+        if fast.metrics(size) != ref.metrics(size):
+            return f"{label}: curve metrics diverge at {size} bytes"
+        if fast.checkpoint(size) != ref.checkpoint(size):
+            return f"{label}: curve checkpoint diverges at {size} bytes"
+    cache_bytes = rng.choice(sizes)
+    rep_ref = simulate_packed(
+        packed,
+        cache_bytes,
+        WRITE_THROUGH,
+        flush_epoch=packed.start_time,
+        **knobs,
+    )
+    rep_fast = simulate_packed_numpy(
+        packed,
+        cache_bytes,
+        WRITE_THROUGH,
+        flush_epoch=packed.start_time,
+        **knobs,
+    )
+    if rep_fast.metrics != rep_ref.metrics:
+        return f"{label}: write-through replay diverges at {cache_bytes} bytes"
+    if rep_fast.checkpoint != rep_ref.checkpoint:
+        return f"{label}: write-through replay checkpoint diverges"
     return None
 
 

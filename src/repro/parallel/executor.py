@@ -22,6 +22,14 @@ Guarantees:
 ``jobs_context`` provides an ambient default so a ``--jobs`` flag set at
 the CLI reaches sweeps buried under the experiment registry, whose
 entry points take only a trace.
+
+A payload may defer its expensive parts entirely: anything defining
+``__payload_resolve__()`` is resolved *inside* each worker (and once on
+the serial path) before the first job touches it.  That is how sweeps
+ship ``.bpack`` paths instead of pickled arrays — the parent sends a
+few strings, each worker mmaps the shared file and the page cache does
+the fan-out.  Resolution must be deterministic; workers call it
+independently and may cache the result per process.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from typing import Any, Callable, Iterator, Sequence
 __all__ = [
     "auto_jobs",
     "resolve_jobs",
+    "resolve_payload",
     "jobs_context",
     "run_jobs",
 ]
@@ -58,8 +67,17 @@ def _init_worker(payload: Any) -> None:
     _payload = payload
 
 
+def resolve_payload(payload: Any) -> Any:
+    """*payload* itself, or what its ``__payload_resolve__()`` returns."""
+    resolve = getattr(payload, "__payload_resolve__", None)
+    if resolve is not None:
+        return resolve()
+    return payload
+
+
 def _call_chunk(worker: Callable[[Any, Any], Any], chunk: Sequence[Any]) -> list[Any]:
-    return [worker(_payload, job) for job in chunk]
+    payload = resolve_payload(_payload)
+    return [worker(payload, job) for job in chunk]
 
 
 def auto_jobs() -> int:
@@ -97,6 +115,7 @@ def jobs_context(jobs: int | None) -> Iterator[int]:
 def _run_serial(
     worker: Callable[[Any, Any], Any], jobs_list: Sequence[Any], payload: Any
 ) -> list[Any]:
+    payload = resolve_payload(payload)
     return [worker(payload, job) for job in jobs_list]
 
 

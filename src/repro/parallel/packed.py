@@ -167,16 +167,28 @@ def pack_stream(
 
 
 def cached_packed_stream(
-    log: TraceLog, block_size: int, include_paging: bool = False
+    log: TraceLog,
+    block_size: int,
+    include_paging: bool = False,
+    engine: str = "auto",
 ) -> PackedStream:
-    """Memoized :func:`pack_stream` per ``(log, block_size, paging)``."""
+    """Memoized :func:`pack_stream` per ``(log, block_size, paging, engine)``.
+
+    The memo key carries the *resolved* engine, so a process mixing
+    ``--engine python`` and ``--engine numpy`` runs can never be served
+    the other engine's compile (they are bit-identical by contract —
+    fuzz pillar 5 — but a differential harness must not have its two
+    sides silently collapsed into one), while repeated ``auto`` calls
+    still share one entry.
+    """
     return memoize_per_log(
         log,
-        ("packed", block_size, include_paging),
+        ("packed", block_size, include_paging, resolve_engine(engine)),
         lambda: pack_stream(
             cached_stream(log, include_paging=include_paging),
             block_size,
             start_time=log.start_time,
+            engine=engine,
         ),
     )
 

@@ -13,7 +13,10 @@ __all__ = [
     "SIMULATOR_PACKAGES",
     "HOT_MODULES",
     "TRACE_COLUMN_ATTRS",
+    "PACKED_COLUMN_ATTRS",
+    "COLUMN_ATTRS",
     "COLUMN_ORACLE_MODULES",
+    "COLUMN_RULE_EXEMPT_PACKAGES",
     "in_packages",
 ]
 
@@ -76,6 +79,17 @@ TRACE_COLUMN_ATTRS: frozenset[str] = frozenset(
     }
 )
 
+#: The flat columns of ``PackedStream`` (one row per block access or
+#: invalidation).  ``times`` is shared with the trace layout above, so
+#: only the two packed-specific names are listed; together they widen
+#: ``REP-H003`` to the cache-simulation half (:mod:`repro.parallel`),
+#: where a new per-op Python loop outside the oracle modules is exactly
+#: the regression the vectorized engine exists to prevent.
+PACKED_COLUMN_ATTRS: frozenset[str] = frozenset({"ops", "keys"})
+
+#: Every column attribute ``REP-H003`` tracks (trace + packed layouts).
+COLUMN_ATTRS: frozenset[str] = TRACE_COLUMN_ATTRS | PACKED_COLUMN_ATTRS
+
 #: Modules allowed to loop row-at-a-time over trace columns: the
 #: columnar store and codecs themselves, plus the pure-Python reference
 #: implementations the vectorized engine is differenced against (the
@@ -90,10 +104,18 @@ COLUMN_ORACLE_MODULES: tuple[str, ...] = (
     "repro.corpus.stream",
     "repro.corpus.writer",
     "repro.parallel.packed",
+    "repro.parallel.stack",
     "repro.trace.columns",
     "repro.trace.io_binary",
     "repro.trace.validate",
 )
+
+
+#: Packages ``REP-H003`` skips outright.  The linter itself walks
+#: Python ASTs, whose node fields (``ast.Compare.ops``,
+#: ``ast.Dict.keys``) collide with the packed-stream column names —
+#: and nothing in it ever touches a trace.
+COLUMN_RULE_EXEMPT_PACKAGES: tuple[str, ...] = ("repro.statics",)
 
 
 def in_packages(module: str, packages: tuple[str, ...]) -> bool:

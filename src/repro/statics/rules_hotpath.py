@@ -10,16 +10,19 @@
   errors.  Simulated clocks are running sums of float intervals; exact
   equality against a float literal is a latent never-fires (or
   always-fires) branch.
-* ``REP-H003`` — per-event loops over :class:`TraceColumns` columns
-  (``for t in cols.times``, ``enumerate(cols.kinds)``,
-  ``range(len(cols.kinds))``, including through a local alias) are
-  flagged outside the designated reference-oracle modules
+* ``REP-H003`` — per-event loops over :class:`TraceColumns` or
+  :class:`PackedStream` columns (``for t in cols.times``,
+  ``enumerate(cols.kinds)``, ``range(len(packed.keys))``, including
+  through a local alias — ``keys = packed.keys`` or
+  ``keys = packed.keys.tolist()``) are flagged outside the designated
+  reference-oracle modules
   (:data:`repro.statics.config.COLUMN_ORACLE_MODULES`).  The oracles
   *must* stay row-at-a-time — they are the spec the vectorized engine
   is differenced against — but anywhere else such a loop is a hot-path
   regression waiting to be profiled: use the numpy views
   (:mod:`repro.trace.npview`) and the kernels in
-  :mod:`repro.analysis.vectorized`, or justify the loop with
+  :mod:`repro.analysis.vectorized` /
+  :mod:`repro.parallel.veccache`, or justify the loop with
   ``# repro: allow[REP-H003]``.
 """
 
@@ -138,15 +141,12 @@ _ITER_WRAPPERS = frozenset({"zip", "enumerate", "reversed", "iter", "map"})
 
 
 def _is_column_value(node: ast.expr, bound: frozenset[str]) -> str | None:
-    """The column name when *node* evaluates to a trace column.
+    """The column name when *node* evaluates to a trace/packed column.
 
     Matches a direct ``<anything>.times``-style attribute access and
     local names previously bound from one (``kinds = cols.kinds``).
     """
-    if (
-        isinstance(node, ast.Attribute)
-        and node.attr in config.TRACE_COLUMN_ATTRS
-    ):
+    if isinstance(node, ast.Attribute) and node.attr in config.COLUMN_ATTRS:
         return node.attr
     if isinstance(node, ast.Name) and node.id in bound:
         return node.id
@@ -197,16 +197,32 @@ def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
         stack.extend(ast.iter_child_nodes(node))
 
 
+def _is_column_source(value: ast.expr) -> bool:
+    """True when *value* reads a column, directly or through a
+    same-length materializing wrapper (``packed.keys.tolist()``,
+    ``list(cols.times)`` — still one Python object per row)."""
+    if isinstance(value, ast.Attribute) and value.attr in config.COLUMN_ATTRS:
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Attribute) and func.attr == "tolist":
+            return _is_column_source(func.value)
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "list"
+            and len(value.args) == 1
+        ):
+            return _is_column_source(value.args[0])
+    return False
+
+
 def _column_locals(scope: ast.AST) -> frozenset[str]:
-    """Local names assigned directly from a column attribute in a scope."""
+    """Local names assigned from a column attribute in a scope."""
     names: set[str] = set()
     for node in _scope_nodes(scope):
         if not isinstance(node, ast.Assign):
             continue
-        if (
-            isinstance(node.value, ast.Attribute)
-            and node.value.attr in config.TRACE_COLUMN_ATTRS
-        ):
+        if _is_column_source(node.value):
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     names.add(target.id)
@@ -225,6 +241,8 @@ def check_column_loops(ctx: ModuleContext) -> Iterator[Finding]:
     if not ctx.module.startswith("repro."):
         return
     if ctx.module in config.COLUMN_ORACLE_MODULES:
+        return
+    if config.in_packages(ctx.module, config.COLUMN_RULE_EXEMPT_PACKAGES):
         return
     for scope in ast.walk(ctx.tree):
         if not isinstance(
@@ -250,11 +268,12 @@ def check_column_loops(ctx: ModuleContext) -> Iterator[Finding]:
                     "REP-H003",
                     at,
                     Severity.WARNING,
-                    f"per-event loop over trace column `{column}` outside "
+                    f"per-event loop over column `{column}` outside "
                     "the reference oracles; hot paths belong on the "
-                    "vectorized engine (repro.trace.npview views + "
-                    "repro.analysis.vectorized kernels) — if this loop IS "
-                    "a reference implementation, justify it with "
+                    "vectorized engines (repro.trace.npview views, "
+                    "repro.analysis.vectorized and repro.parallel.veccache "
+                    "kernels) — if this loop IS a reference "
+                    "implementation, justify it with "
                     "`# repro: allow[REP-H003]`",
                 )
 

@@ -23,7 +23,8 @@ working — and keep being exercised — without numpy installed.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from .columns import TraceColumns
@@ -40,6 +41,8 @@ __all__ = [
     "as_i64",
     "as_u8",
     "column_views",
+    "current_engine",
+    "engine_context",
     "numpy_available",
     "resolve_engine",
 ]
@@ -77,6 +80,38 @@ def resolve_engine(engine: str) -> str:
             "(not installed, or disabled via REPRO_NO_NUMPY)"
         )
     return engine
+
+
+_ambient_engine: str | None = None
+
+
+def current_engine() -> str:
+    """The ambient engine name: the innermost :func:`engine_context`,
+    else ``"auto"`` (resolve at use time, so ``REPRO_NO_NUMPY`` and
+    import availability are honored wherever the choice lands)."""
+    return _ambient_engine if _ambient_engine is not None else "auto"
+
+
+@contextmanager
+def engine_context(engine: str) -> Iterator[str]:
+    """Establish the ambient engine for nested dispatch sites.
+
+    Mirrors :func:`repro.parallel.executor.jobs_context`: a ``--engine``
+    flag set at the CLI reaches sweeps buried under the experiment
+    registry, whose entry points take only a trace.  The name is
+    validated here but resolved lazily at each dispatch site.
+    """
+    global _ambient_engine
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+    previous = _ambient_engine
+    _ambient_engine = engine
+    try:
+        yield engine
+    finally:
+        _ambient_engine = previous
 
 
 def as_f64(column):

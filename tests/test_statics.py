@@ -674,6 +674,28 @@ def test_column_loop_out_of_package_and_non_column_pass(tmp_path):
     assert report.ok
 
 
+def test_packed_column_loop_and_tolist_alias_flagged(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "repro/cache/hotloop.py",
+        "def f(packed):\n"
+        "    keys = packed.keys.tolist()\n"
+        "    for key in keys:\n"
+        "        print(key)\n"
+        "    for op in packed.ops:\n"
+        "        print(op)\n",
+    )
+    assert _rule_ids(report) == ["REP-H003", "REP-H003"]
+
+
+def test_packed_column_loop_allowed_in_stack_oracle_and_statics(tmp_path):
+    source = "def f(packed):\n    for k in packed.keys:\n        print(k)\n"
+    assert _lint_source(tmp_path, "repro/parallel/stack.py", source).ok
+    # The linter's own AST walks (`node.ops`, `node.keys`) collide with
+    # the packed column names; the package is exempt.
+    assert _lint_source(tmp_path, "repro/statics/newrule.py", source).ok
+
+
 def test_column_loop_in_nested_function_reported_once(tmp_path):
     report = _lint_source(
         tmp_path,
