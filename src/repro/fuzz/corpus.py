@@ -36,11 +36,13 @@ import struct
 
 from ..analysis.onepass import analyze_onepass
 from ..corpus.format import CorpusError
+from ..corpus.parallel import verify_segment_job
 from ..corpus.reader import CorpusReader
 from ..corpus.stream import analyze_corpus, validate_corpus
 from ..corpus.writer import CorpusWriter
 from ..trace.columns import TraceColumns
 from ..trace.log import TraceLog
+from ..trace.npview import numpy_available
 from ..trace.validate import validate_columns
 
 __all__ = [
@@ -141,6 +143,29 @@ def check_corpus_streaming(
             or streamed_v.unmatched_opens != in_ram_v.unmatched_opens
         ):
             return "validate_corpus disagrees with in-RAM validate_columns"
+        # Engine differential: the per-segment footer re-derivation must
+        # behave identically under the numpy scan and the python loop —
+        # same "ok", or a CorpusError with the very same message.
+        for index in range(reader.segment_count):
+            seg = reader.segment(index)
+            stat = reader.stats[index]
+            outcomes = []
+            engines = ("python", "numpy") if numpy_available() else ("python",)
+            for engine in engines:
+                try:
+                    outcomes.append(verify_segment_job(seg, stat, index, engine))
+                except CorpusError as exc:
+                    outcomes.append(f"CorpusError: {exc}")
+            if outcomes[0] != "ok":
+                return (
+                    f"verify_segment_job rejected a freshly written segment "
+                    f"{index}: {outcomes[0]}"
+                )
+            if len(outcomes) == 2 and outcomes[0] != outcomes[1]:
+                return (
+                    f"verify_segment_job engines disagree on segment "
+                    f"{index}: python={outcomes[0]!r} numpy={outcomes[1]!r}"
+                )
     return None
 
 

@@ -1,0 +1,363 @@
+"""Intraprocedural forward dataflow with pluggable taint lattices.
+
+The flow-aware rules (RNG provenance, time-unit mixing) need more than
+"what does this name resolve to": they need to know what a value *is*
+after it has moved through assignments, conditionals, loops,
+comprehensions and calls.  This module provides that as a small abstract
+interpreter over one function (or the module body) at a time:
+
+* The abstract value is a frozenset of string **tags** (the taint);
+  join is set union, so the lattice is the powerset of the tag alphabet
+  and every transfer function is trivially monotone.
+* A :class:`TaintPolicy` supplies the semantics: which parameters and
+  names introduce taint, how attribute access and calls transform it,
+  and how binary operators combine it.  Rules subclass it.
+* :func:`analyze_flow` runs the interpreter to a fixpoint (loops are
+  iterated until the environment stops changing, with a hard cap) and
+  returns a :class:`FlowResult` mapping expression nodes to their final
+  joined taints, so rules post-process call sites, operands and
+  assignments without re-walking.
+
+Branches join rather than split (both arms of an ``if`` contribute to
+the environment downstream), which over-approximates reachability — the
+right direction for a linter: a taint that *may* reach a sink is worth
+a finding.  Nested function definitions are skipped; each ``def`` is
+analyzed in its own scope with taint re-introduced at its parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import ModuleContext
+
+__all__ = ["EMPTY", "FlowResult", "TaintPolicy", "analyze_flow", "iter_scopes"]
+
+Taint = frozenset
+EMPTY: frozenset[str] = frozenset()
+
+#: Fixpoint cap for loops: taints only ever grow along joins, so real
+#: code converges in two or three passes; the cap bounds adversarial
+#: inputs.
+_MAX_LOOP_PASSES = 8
+
+
+class TaintPolicy:
+    """Semantics of one taint lattice.  Subclass and override."""
+
+    def param_taint(self, ctx: ModuleContext, fn, arg: ast.arg) -> frozenset[str]:
+        """Taint introduced by a function parameter."""
+        return EMPTY
+
+    def name_taint(self, ctx: ModuleContext, name: str) -> frozenset[str]:
+        """Taint of a name with no local binding (imports, globals)."""
+        return EMPTY
+
+    def attribute_taint(
+        self, ctx: ModuleContext, node: ast.Attribute, base: frozenset[str]
+    ) -> frozenset[str]:
+        """Taint of ``base.attr`` given the base object's taint."""
+        return EMPTY
+
+    def call_taint(
+        self,
+        ctx: ModuleContext,
+        node: ast.Call,
+        func: frozenset[str],
+        args: list[frozenset[str]],
+    ) -> frozenset[str]:
+        """Taint of a call result given callee and argument taints."""
+        return EMPTY
+
+    def binop_taint(
+        self,
+        ctx: ModuleContext,
+        node: ast.BinOp,
+        left: frozenset[str],
+        right: frozenset[str],
+    ) -> frozenset[str]:
+        """Taint of ``left <op> right``; default: union (propagate)."""
+        return left | right
+
+    def constant_taint(
+        self, ctx: ModuleContext, node: ast.Constant
+    ) -> frozenset[str]:
+        return EMPTY
+
+
+class FlowResult:
+    """Per-node taints after the fixpoint, plus return-value taint."""
+
+    __slots__ = ("_taints", "returns")
+
+    def __init__(self) -> None:
+        self._taints: dict[int, frozenset[str]] = {}
+        self.returns: frozenset[str] = EMPTY
+
+    def taint(self, node: ast.AST) -> frozenset[str]:
+        return self._taints.get(id(node), EMPTY)
+
+    def _note(self, node: ast.AST, taint: frozenset[str]) -> frozenset[str]:
+        key = id(node)
+        prior = self._taints.get(key)
+        self._taints[key] = taint if prior is None else prior | taint
+        return taint
+
+
+def iter_scopes(
+    ctx: ModuleContext,
+) -> Iterator[ast.Module | ast.FunctionDef | ast.AsyncFunctionDef]:
+    """The module body plus every (nested) function, each its own scope."""
+    yield ctx.tree
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def analyze_flow(
+    ctx: ModuleContext,
+    scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
+    policy: TaintPolicy,
+) -> FlowResult:
+    """Run *policy* over one scope to a fixpoint."""
+    interp = _Interpreter(ctx, policy)
+    env: dict[str, frozenset[str]] = {}
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        ):
+            taint = policy.param_taint(ctx, scope, arg)
+            if taint:
+                env[arg.arg] = taint
+    interp.exec_block(scope.body, env)
+    return interp.result
+
+
+def _join(
+    a: dict[str, frozenset[str]], b: dict[str, frozenset[str]]
+) -> dict[str, frozenset[str]]:
+    out = dict(a)
+    for name, taint in b.items():
+        prior = out.get(name)
+        out[name] = taint if prior is None else prior | taint
+    return out
+
+
+class _Interpreter:
+    """One pass-structured walk; loops re-run bodies until stable."""
+
+    __slots__ = ("ctx", "policy", "result")
+
+    def __init__(self, ctx: ModuleContext, policy: TaintPolicy) -> None:
+        self.ctx = ctx
+        self.policy = policy
+        self.result = FlowResult()
+
+    # -- statements --------------------------------------------------------
+
+    def exec_block(self, body: list[ast.stmt], env: dict) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: dict) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.bind(target, taint, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.bind(stmt.target, self.eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                taint = taint | env.get(stmt.target.id, EMPTY)
+            self.bind(stmt.target, taint, env)
+        elif isinstance(stmt, (ast.Expr, ast.Assert)):
+            value = stmt.value if isinstance(stmt, ast.Expr) else stmt.test
+            self.eval(value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.result.returns |= self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            then_env = dict(env)
+            self.exec_block(stmt.body, then_env)
+            else_env = dict(env)
+            self.exec_block(stmt.orelse, else_env)
+            env.clear()
+            env.update(_join(then_env, else_env))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self.eval(stmt.iter, env)
+            self.bind(stmt.target, iter_taint, env)
+            self._fixpoint(stmt.body, env)
+            self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            self._fixpoint(stmt.body, env)
+            self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self.exec_block(stmt.body, body_env)
+            merged = _join(env, body_env)
+            for handler in stmt.handlers:
+                handler_env = dict(merged)
+                self.exec_block(handler.body, handler_env)
+                merged = _join(merged, handler_env)
+            else_env = dict(merged)
+            self.exec_block(stmt.orelse, else_env)
+            merged = _join(merged, else_env)
+            env.clear()
+            env.update(merged)
+            self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, taint, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, env)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            env[stmt.name] = EMPTY  # analyzed as its own scope
+        # Import/Pass/Break/Continue/Global/Nonlocal: no flow effect here
+        # (imported names fall through to policy.name_taint).
+
+    def _fixpoint(self, body: list[ast.stmt], env: dict) -> None:
+        for _ in range(_MAX_LOOP_PASSES):
+            trial = dict(env)
+            self.exec_block(body, trial)
+            merged = _join(env, trial)
+            if merged == env:
+                return
+            env.clear()
+            env.update(merged)
+
+    def bind(self, target: ast.expr, taint: frozenset[str], env: dict) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taint
+            self.result._note(target, taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.bind(elt, taint, env)
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, taint, env)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # No strong update through objects; note the flow so rules
+            # can inspect what reached the store.
+            self.eval(target.value, env)
+            self.result._note(target, taint)
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node: ast.expr, env: dict) -> frozenset[str]:
+        taint = self._eval_inner(node, env)
+        return self.result._note(node, taint)
+
+    def _eval_inner(self, node: ast.expr, env: dict) -> frozenset[str]:
+        policy, ctx = self.policy, self.ctx
+        if isinstance(node, ast.Name):
+            bound = env.get(node.id)
+            if bound is not None:
+                return bound
+            return policy.name_taint(ctx, node.id)
+        if isinstance(node, ast.Constant):
+            return policy.constant_taint(ctx, node)
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value, env)
+            return policy.attribute_taint(ctx, node, base)
+        if isinstance(node, ast.Call):
+            func = self.eval(node.func, env)
+            args = [self.eval(a, env) for a in node.args]
+            args += [self.eval(kw.value, env) for kw in node.keywords]
+            return policy.call_taint(ctx, node, func, args)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return policy.binop_taint(ctx, node, left, right)
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for value in node.values:
+                out |= self.eval(value, env)
+            return out
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return self.eval(node.body, env) | self.eval(node.orelse, env)
+        if isinstance(node, ast.Compare):
+            self.eval(node.left, env)
+            for comparator in node.comparators:
+                self.eval(comparator, env)
+            return EMPTY  # a bool carries no unit/rng identity
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = EMPTY
+            for elt in node.elts:
+                out |= self.eval(elt, env)
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out |= self.eval(key, env)
+            for value in node.values:
+                out |= self.eval(value, env)
+            return out
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part, env)
+            return EMPTY
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            return self._eval_comp(node, env)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value, env)
+            self.bind(node.target, taint, env)
+            return taint
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                self.eval(value, env)
+            return EMPTY
+        if isinstance(node, ast.FormattedValue):
+            self.eval(node.value, env)
+            return EMPTY
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                return self.eval(node.value, env)
+            return EMPTY
+        if isinstance(node, ast.Lambda):
+            return EMPTY  # not descended; lambdas are opaque values
+        return EMPTY
+
+    def _eval_comp(self, node, env: dict) -> frozenset[str]:
+        # Comprehension variables live in a copy: the element inherits
+        # the iterable's taint (collection ~ element for our lattices).
+        inner = dict(env)
+        for gen in node.generators:
+            iter_taint = self.eval(gen.iter, inner)
+            self.bind(gen.target, iter_taint, inner)
+            for cond in gen.ifs:
+                self.eval(cond, inner)
+        if isinstance(node, ast.DictComp):
+            out = self.eval(node.key, inner) | self.eval(node.value, inner)
+        else:
+            out = self.eval(node.elt, inner)
+        return out

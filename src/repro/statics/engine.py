@@ -11,21 +11,26 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from . import config
 from .context import ModuleContext
 from .findings import Finding, Severity
 from .registry import CROSS_RULES, RULES, rule
 
 # Importing the rule modules populates the registry.
 from . import rules_determinism  # noqa: F401
+from . import rules_engines  # noqa: F401
 from . import rules_hotpath  # noqa: F401
 from . import rules_parallel  # noqa: F401
+from . import rules_rng  # noqa: F401
 from . import rules_schema  # noqa: F401
+from . import rules_units  # noqa: F401
 
 __all__ = ["LintReport", "collect_files", "lint_paths"]
 
 #: Engine-generated rule ids that are valid suppression targets even
-#: though they have no registered check function.
-_ENGINE_RULE_IDS = frozenset({"REP-E001"})
+#: though they have no registered check function: ``REP-A001`` (stale
+#: suppression) and ``REP-A002`` (unparsable/unreadable file).
+_ENGINE_RULE_IDS = frozenset({"REP-A001", "REP-A002"})
 
 
 @rule("REP-A000", "malformed suppression comment")
@@ -104,7 +109,7 @@ def collect_files(paths: Iterable[str | Path]) -> list[Path]:
 
 def _parse_error_finding(path: Path, exc: SyntaxError) -> Finding:
     return Finding(
-        rule_id="REP-E001",
+        rule_id="REP-A002",
         path=str(path),
         line=exc.lineno or 1,
         col=(exc.offset or 0) + 1,
@@ -113,16 +118,70 @@ def _parse_error_finding(path: Path, exc: SyntaxError) -> Finding:
     )
 
 
+def _stale_suppression_findings(
+    contexts: dict[str, ModuleContext],
+) -> list[Finding]:
+    """``REP-A001``: allow comments that matched no finding this run.
+
+    Only meaningful on a whole-tree run — a rule that did not fire in a
+    partial scan says nothing — so the engine skips this when
+    ``config.SCOPED_RUN`` is set.  Suppressions naming only unknown
+    rule ids are REP-A000's to report, not stale.
+    """
+    known = set(RULES) | set(CROSS_RULES) | _ENGINE_RULE_IDS
+    out: list[Finding] = []
+    for ctx in contexts.values():
+        for line, supp in sorted(ctx.suppressions.items()):
+            if line in ctx.used_suppressions:
+                continue
+            named = sorted(supp.rule_ids & known)
+            if not named:
+                continue
+            out.append(
+                Finding(
+                    rule_id="REP-A001",
+                    path=ctx.display_path,
+                    line=line,
+                    col=1,
+                    severity=Severity.ERROR,
+                    message=f"suppression for {', '.join(named)} no longer "
+                    "matches any finding; delete the stale "
+                    "`# repro: allow` comment",
+                )
+            )
+    return out
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     baseline: set[str] | None = None,
+    overrides: dict[str, object] | None = None,
+    scoped: bool = False,
 ) -> LintReport:
     """Lint every .py file under *paths*; returns the full report.
 
     *baseline* is a set of grandfathered fingerprints (see
     :mod:`repro.statics.baseline`); matching findings are reported
-    separately and do not fail the run.
+    separately and do not fail the run.  *overrides* maps
+    ``[tool.repro.statics]`` lattice/scope options onto
+    :mod:`repro.statics.config` for the duration of this run.
+    *scoped* marks a partial scan (``--changed``): whole-program rules
+    (stale suppressions, engine parity) are skipped.
     """
+    effective = dict(overrides or {})
+    if scoped:
+        effective["scoped_run"] = True
+    saved = config.apply_overrides(effective) if effective else {}
+    try:
+        return _lint_paths_inner(paths, baseline)
+    finally:
+        config.restore(saved)
+
+
+def _lint_paths_inner(
+    paths: Iterable[str | Path],
+    baseline: set[str] | None,
+) -> LintReport:
     files = collect_files(paths)
     report = LintReport(files_scanned=len(files))
     contexts: dict[str, ModuleContext] = {}
@@ -138,7 +197,7 @@ def lint_paths(
         except (OSError, UnicodeDecodeError) as exc:
             raw_findings.append(
                 Finding(
-                    rule_id="REP-E001",
+                    rule_id="REP-A002",
                     path=str(path),
                     line=1,
                     col=1,
@@ -155,7 +214,8 @@ def lint_paths(
         raw_findings.extend(cross.check(files))
 
     baseline = baseline or set()
-    for finding in raw_findings:
+
+    def _apply(finding: Finding) -> None:
         ctx = contexts.get(finding.path)
         supp = (
             ctx.suppression_for(finding.rule_id, finding.line)
@@ -178,6 +238,16 @@ def lint_paths(
             report.baselined.append(finding)
         else:
             report.findings.append(finding)
+
+    for finding in raw_findings:
+        _apply(finding)
+
+    # Staleness is judged after every rule finding has had its chance
+    # to consume a suppression; the stale findings themselves can be
+    # suppressed (on their own line) or baselined like any other.
+    if not config.SCOPED_RUN:
+        for finding in _stale_suppression_findings(contexts):
+            _apply(finding)
 
     report.findings.sort(key=lambda f: f.sort_key())
     report.suppressed.sort(key=lambda f: f.sort_key())

@@ -1,4 +1,4 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON and SARIF reporters for lint results."""
 
 from __future__ import annotations
 
@@ -6,8 +6,9 @@ import json
 
 from .engine import LintReport
 from .findings import Severity
+from .registry import rule_catalog
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(report: LintReport) -> str:
@@ -42,6 +43,74 @@ def render_json(report: LintReport) -> str:
                 "fingerprint": f.fingerprint,
             }
             for f in sorted(report.findings, key=lambda f: f.sort_key())
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+#: Engine-generated rule ids with no registered check (kept in the
+#: SARIF driver catalog so results always reference a declared rule).
+_ENGINE_RULES = (
+    ("REP-A001", "error", "stale suppression comment"),
+    ("REP-A002", "error", "file does not parse or cannot be read"),
+)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0, the schema GitHub code scanning ingests.
+
+    Suppressed and baselined findings are omitted — SARIF is the
+    PR-annotation surface, and those are by definition accepted."""
+    catalog = list(rule_catalog()) + list(_ENGINE_RULES)
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id.replace("-", ""),
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {
+                "level": "error" if severity == "error" else "warning"
+            },
+        }
+        for rule_id, severity, title in sorted(set(catalog))
+    ]
+    index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "ruleIndex": index.get(f.rule_id, -1),
+            "level": "error" if f.severity is Severity.ERROR else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproStaticsFingerprint/v1": f.fingerprint},
+        }
+        for f in sorted(report.findings, key=lambda f: f.sort_key())
+    ]
+    payload = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-statics",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
         ],
     }
     return json.dumps(payload, indent=2)

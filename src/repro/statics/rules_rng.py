@@ -1,0 +1,190 @@
+"""RNG-provenance rules (flow-aware).
+
+``REP-D002`` catches randomness it can *resolve syntactically*: a call
+whose Name/Attribute chain leads back to an import of ``random`` or
+``numpy.random``.  The moment the RNG moves through an assignment —
+
+.. code-block:: python
+
+    r = random            # alias the module
+    make = random.Random  # alias the factory
+    rng = make()          # unseeded, but D002 can no longer see it
+    rng.shuffle(files)
+
+— the chain roots at a local variable, ``ctx.resolve`` returns ``None``
+and the heuristic goes blind.  These rules close that gap with the
+dataflow lattice: taint is introduced at ``random``/``numpy.random``
+imports, factories and seeded-generator parameters, propagated by
+:mod:`repro.statics.dataflow`, and checked at every call site.
+
+* ``REP-D004`` — a draw reached the *module-level* RNG through
+  dataflow (aliased module, aliased draw function).  Same defect class
+  as D002's module-draw arm, found through flow instead of syntax.
+* ``REP-D005`` — a draw on an RNG instance that was constructed
+  *unseeded* (or is a ``SystemRandom``) somewhere upstream.  This is
+  the seeded-Generator-bypass shape: code that dutifully accepts an
+  ``rng`` parameter but draws from a locally constructed generator.
+
+Values flowing from a seeded construction (``random.Random(seed)``,
+``default_rng(seed)``) or from an ``rng``-named/annotated parameter are
+clean by definition — threading a seeded generator is exactly the
+discipline the repo wants.
+
+Both rules only fire where ``ctx.resolve`` fails on the callee, so a
+single defect is never reported by D002 and D004/5 at once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import config
+from .context import ModuleContext
+from .dataflow import EMPTY, TaintPolicy, analyze_flow, iter_scopes
+from .findings import Finding, Severity
+from .registry import rule
+from .rules_determinism import _RANDOM_MODULE_PREFIXES, _finding
+
+__all__ = ["RngPolicy"]
+
+#: Taint tags.
+_MODULE = "rng.module"  # the random / numpy.random module object
+_NUMPY = "rng.numpy"  # the numpy module (np.random hangs off it)
+_FN = "rng.fn"  # a module-level draw function as a value
+_FACTORY = "rng.factory"  # Random / Generator / default_rng as a value
+_SYS_FACTORY = "rng.sysfactory"  # SystemRandom as a value
+_SEEDED = "rng.seeded"  # a generator constructed with a seed, or a param
+_UNSEEDED = "rng.unseeded"  # a generator constructed with no arguments
+_SYSTEM = "rng.system"  # a SystemRandom instance
+_UNSEEDED_METHOD = "rng.unseeded-method"
+_SYSTEM_METHOD = "rng.system-method"
+
+_FACTORY_ORIGINS = frozenset(
+    {"random.Random", "numpy.random.Generator", "numpy.random.default_rng"}
+)
+_FACTORY_ATTRS = frozenset({"Random", "Generator", "default_rng"})
+
+
+def _is_rng_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    text = ast.dump(annotation)
+    return "Random" in text or "Generator" in text
+
+
+class RngPolicy(TaintPolicy):
+    """The RNG-provenance lattice."""
+
+    def param_taint(self, ctx, fn, arg: ast.arg) -> frozenset:
+        name = arg.arg.lower()
+        if name in config.RNG_PARAM_NAMES or _is_rng_annotation(arg.annotation):
+            return frozenset({_SEEDED})
+        return EMPTY
+
+    def name_taint(self, ctx: ModuleContext, name: str) -> frozenset:
+        origin = ctx.imports.get(name)
+        if origin is None:
+            return EMPTY
+        if origin in ("random", "numpy.random"):
+            return frozenset({_MODULE})
+        if origin == "numpy":
+            return frozenset({_NUMPY})
+        if origin in _FACTORY_ORIGINS:
+            return frozenset({_FACTORY})
+        if origin == "random.SystemRandom":
+            return frozenset({_SYS_FACTORY})
+        if any(origin.startswith(p) for p in _RANDOM_MODULE_PREFIXES):
+            return frozenset({_FN})
+        return EMPTY
+
+    def attribute_taint(self, ctx, node: ast.Attribute, base: frozenset) -> frozenset:
+        if _NUMPY in base and node.attr == "random":
+            return frozenset({_MODULE})
+        if _MODULE in base:
+            if node.attr in _FACTORY_ATTRS:
+                return frozenset({_FACTORY})
+            if node.attr == "SystemRandom":
+                return frozenset({_SYS_FACTORY})
+            return frozenset({_FN})  # bound method of the global RNG
+        if _UNSEEDED in base:
+            return frozenset({_UNSEEDED_METHOD})
+        if _SYSTEM in base:
+            return frozenset({_SYSTEM_METHOD})
+        return EMPTY
+
+    def call_taint(self, ctx, node: ast.Call, func: frozenset, args) -> frozenset:
+        if _FACTORY in func:
+            if node.args or node.keywords:
+                return frozenset({_SEEDED})
+            return frozenset({_UNSEEDED})
+        if _SYS_FACTORY in func:
+            return frozenset({_SYSTEM})
+        return EMPTY
+
+
+@rule("REP-D004", "module-level RNG reached through dataflow")
+def check_rng_module_flow(ctx: ModuleContext) -> Iterator[Finding]:
+    yield from _check(ctx, want="D004")
+
+
+@rule("REP-D005", "unseeded RNG instance reached through dataflow")
+def check_rng_unseeded_flow(ctx: ModuleContext) -> Iterator[Finding]:
+    yield from _check(ctx, want="D005")
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk *scope* without descending into nested function scopes
+    (each nested ``def`` is analyzed as its own scope)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check(ctx: ModuleContext, want: str) -> Iterator[Finding]:
+    if not config.in_packages(ctx.module, config.DETERMINISM_PACKAGES):
+        return
+    policy = RngPolicy()
+    for scope in iter_scopes(ctx):
+        flow = analyze_flow(ctx, scope, policy)
+        for node in _scope_nodes(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is not None and "." in resolved:
+                continue  # import-rooted chain: REP-D002's territory
+            func_taint = flow.taint(node.func)
+            if want == "D004" and (_FN in func_taint or _MODULE in func_taint):
+                yield _finding(
+                    ctx,
+                    "REP-D004",
+                    node,
+                    Severity.ERROR,
+                    "this call draws from the module-level RNG through an "
+                    "alias (dataflow); draw from a seeded `random.Random` / "
+                    "`numpy.random.Generator` threaded as a parameter",
+                )
+            elif want == "D005" and _UNSEEDED_METHOD in func_taint:
+                yield _finding(
+                    ctx,
+                    "REP-D005",
+                    node,
+                    Severity.ERROR,
+                    "this call draws from an RNG constructed without a seed "
+                    "upstream (dataflow); construct it as "
+                    "`random.Random(seed)` / `default_rng(seed)` or accept "
+                    "a seeded generator parameter",
+                )
+            elif want == "D005" and _SYSTEM_METHOD in func_taint:
+                yield _finding(
+                    ctx,
+                    "REP-D005",
+                    node,
+                    Severity.ERROR,
+                    "this call draws from a `SystemRandom` (OS entropy) "
+                    "reached through dataflow; it can never be seeded",
+                )

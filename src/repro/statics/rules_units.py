@@ -1,0 +1,210 @@
+"""Time-unit taint rule (``REP-U001``).
+
+The trace formats store event times as **u32 centiseconds** (the 1985
+trace resolution) while the in-memory analysis works in **float
+seconds**; :mod:`repro.trace.io_binary` converts at the boundary with
+``round(time * 100)`` / ``t / 100.0`` and clamps against ``_MAX_CS``.
+The fuzzer once caught the failure mode dynamically: a seconds value
+compared or added to a centisecond value without the ``* 100``
+conversion is off by two orders of magnitude and silently truncates at
+the u32 boundary ~497 days early.
+
+This rule makes the mix a static finding.  The lattice tags values by
+naming convention and conversion structure:
+
+* ``unit.s`` — names/attributes with a ``time``/``seconds``/
+  ``duration`` segment, and ``cs / 100`` results;
+* ``unit.cs`` — names with a ``cs``/``centi`` segment (``_MAX_CS``,
+  ``start_cs``), results of ``*_cs(...)`` helpers, and ``s * 100``
+  results.
+
+A finding fires when one operand of ``+``/``-``, a comparison, an
+assignment, or a keyword argument is seconds-tainted and the other is
+centisecond-tainted.  Explicit conversions launder the taint, so
+``round(time * 100) <= _MAX_CS`` is clean while ``time <= _MAX_CS`` is
+the bug.  Deliberately short single letters (``t``) carry no taint:
+the rule only trusts names that *declare* a unit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from . import config
+from .context import ModuleContext
+from .dataflow import EMPTY, TaintPolicy, analyze_flow, iter_scopes
+from .findings import Finding, Severity
+from .registry import rule
+from .rules_determinism import _finding
+
+__all__ = ["UnitPolicy"]
+
+_S = "unit.s"
+_CS = "unit.cs"
+
+#: Name segments declaring a unit (matched on ``_``-split lowercased
+#: segments so ``start_cs``, ``_MAX_CS`` and ``time_first`` all match).
+_SECONDS_SEGMENTS = frozenset(
+    {"time", "times", "seconds", "secs", "duration", "durations", "elapsed"}
+)
+_CS_SEGMENTS = frozenset({"cs", "centi", "centis", "centisecond", "centiseconds"})
+
+#: Seconds names that are *containers* of times keep the taint too —
+#: the column arrays are the common case (``times[i]``).
+
+_SPLIT = re.compile(r"[^a-zA-Z0-9]+")
+
+
+def _unit_of_name(name: str) -> frozenset:
+    segments = {s for s in _SPLIT.split(name.lower()) if s}
+    if segments & _CS_SEGMENTS:
+        return frozenset({_CS})
+    if segments & _SECONDS_SEGMENTS:
+        return frozenset({_S})
+    return EMPTY
+
+
+def _conversion_factor(node: ast.expr) -> float | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if node.value in (100, 100.0):
+            return 100.0
+        if node.value == 0.01:
+            return 0.01
+    return None
+
+
+class UnitPolicy(TaintPolicy):
+    """Seconds/centiseconds lattice with conversion laundering."""
+
+    def param_taint(self, ctx, fn, arg: ast.arg) -> frozenset:
+        return _unit_of_name(arg.arg)
+
+    def name_taint(self, ctx: ModuleContext, name: str) -> frozenset:
+        if ctx.imports.get(name) is not None:
+            return EMPTY  # modules/functions are not quantities
+        return _unit_of_name(name)
+
+    def attribute_taint(self, ctx, node: ast.Attribute, base: frozenset) -> frozenset:
+        return _unit_of_name(node.attr)
+
+    def call_taint(self, ctx, node: ast.Call, func: frozenset, args) -> frozenset:
+        name = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name is not None:
+            # Numeric wrappers preserve the operand's unit.
+            if name in ("round", "int", "float", "abs", "min", "max"):
+                out = EMPTY
+                for taint in args:
+                    out |= taint
+                return out
+            declared = _unit_of_name(name)
+            if declared:
+                return declared  # _cs(...), parse_time(...) declare units
+        return EMPTY
+
+    def binop_taint(self, ctx, node: ast.BinOp, left: frozenset, right: frozenset) -> frozenset:
+        if isinstance(node.op, ast.Mult):
+            for operand, other in ((node.left, right), (node.right, left)):
+                if _conversion_factor(operand) == 100.0:
+                    return frozenset({_CS}) if _S in other else EMPTY
+                if _conversion_factor(operand) == 0.01:
+                    return frozenset({_S}) if _CS in other else EMPTY
+        if isinstance(node.op, ast.Div):
+            if _conversion_factor(node.right) == 100.0:
+                return frozenset({_S}) if _CS in left else EMPTY
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod, ast.FloorDiv)):
+            return left | right
+        return EMPTY  # other operators produce unknown units
+
+
+def _mixed(a: frozenset, b: frozenset) -> bool:
+    """One side unambiguously seconds, the other unambiguously cs."""
+    return (_S in a and _CS not in a and _CS in b and _S not in b) or (
+        _CS in a and _S not in a and _S in b and _CS not in b
+    )
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+_MESSAGE = (
+    "mixes float-seconds and u32-centisecond values without an explicit "
+    "conversion (`* 100` / `/ 100`); this is the overflow class the "
+    "fuzzer found in the binary codec"
+)
+
+
+@rule("REP-U001", "seconds/centiseconds mixed without conversion")
+def check_unit_mix(ctx: ModuleContext) -> Iterator[Finding]:
+    if not config.in_packages(ctx.module, config.UNIT_PACKAGES):
+        return
+    policy = UnitPolicy()
+    for scope in iter_scopes(ctx):
+        flow = analyze_flow(ctx, scope, policy)
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                if _mixed(flow.taint(node.left), flow.taint(node.right)):
+                    yield _finding(
+                        ctx,
+                        "REP-U001",
+                        node,
+                        Severity.ERROR,
+                        f"arithmetic {_MESSAGE}",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for a, b in zip(operands, operands[1:]):
+                    if _mixed(flow.taint(a), flow.taint(b)):
+                        yield _finding(
+                            ctx,
+                            "REP-U001",
+                            node,
+                            Severity.ERROR,
+                            f"comparison {_MESSAGE}",
+                        )
+                        break
+            elif isinstance(node, ast.Assign):
+                value_taint = flow.taint(node.value)
+                for target in node.targets:
+                    target_taint = EMPTY
+                    if isinstance(target, ast.Name):
+                        target_taint = _unit_of_name(target.id)
+                    elif isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        target_taint = _unit_of_name(target.value.id)
+                    if _mixed(target_taint, value_taint):
+                        yield _finding(
+                            ctx,
+                            "REP-U001",
+                            node,
+                            Severity.ERROR,
+                            f"assignment {_MESSAGE}",
+                        )
+                        break
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is None:
+                        continue
+                    if _mixed(_unit_of_name(kw.arg), flow.taint(kw.value)):
+                        yield _finding(
+                            ctx,
+                            "REP-U001",
+                            node,
+                            Severity.ERROR,
+                            f"keyword argument `{kw.arg}` {_MESSAGE}",
+                        )

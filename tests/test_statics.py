@@ -528,7 +528,7 @@ def test_json_reporter_is_machine_readable(tmp_path):
 
 def test_unparsable_file_reported_not_crashed(tmp_path):
     report = _lint_source(tmp_path, "repro/cache/broken.py", "def f(:\n")
-    assert _rule_ids(report) == ["REP-E001"]
+    assert _rule_ids(report) == ["REP-A002"]
     assert "parse" in report.findings[0].message
 
 
