@@ -1,12 +1,23 @@
 """The trace-driven disk-block-cache simulator.
 
 The paper's second trace-processing program: replays a trace's transfers
-through an LRU cache of fixed-size blocks under four write policies,
+through a cache of fixed-size blocks (LRU by default; see
+:mod:`repro.cache.replacement` for the policy zoo) under four write
+policies,
 sweeping cache size (Figure 5 / Table VI), block size (Figure 6 /
 Table VII), and — Figure 7 — an execve-driven paging approximation.
 """
 
 from .metrics import CacheMetrics, ResidencyTracker
+from .replacement import (
+    REPLACEMENT_NAMES,
+    REPLACEMENT_POLICIES,
+    ReplacementPolicy,
+    current_replacement,
+    make_replacement,
+    replacement_context,
+    validate_replacement,
+)
 from .policies import (
     DELAYED_WRITE,
     FLUSH_30S,
@@ -45,6 +56,13 @@ __all__ = [
     "FLUSH_30S",
     "FLUSH_5MIN",
     "DELAYED_WRITE",
+    "ReplacementPolicy",
+    "REPLACEMENT_POLICIES",
+    "REPLACEMENT_NAMES",
+    "make_replacement",
+    "validate_replacement",
+    "current_replacement",
+    "replacement_context",
     "build_stream",
     "StreamItem",
     "Invalidation",

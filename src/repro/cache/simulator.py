@@ -1,8 +1,10 @@
 """The trace-driven block-cache simulator (paper Section 6).
 
 Replays a trace's billed transfers and invalidations through a fixed-size
-cache of ``block_size`` blocks with LRU replacement, under one of the
-paper's write policies.  The semantics follow Section 6.1 precisely:
+cache of ``block_size`` blocks under one of the paper's write policies,
+with a pluggable replacement policy (LRU — the paper's — by default; see
+:mod:`repro.cache.replacement` for the zoo).  The semantics follow
+Section 6.1 precisely:
 
 * each transferred byte range is divided into block accesses, assumed to
   be made in units of the cache block size;
@@ -25,12 +27,10 @@ Two semantics knobs exist purely for the ablation benchmarks:
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-
 from ..trace.log import TraceLog
 from .metrics import CacheMetrics, ExposureTracker, ResidencyTracker
 from .policies import DELAYED_WRITE, PolicySpec, WritePolicy
+from .replacement import make_replacement
 from .stream import Invalidation, StreamItem, cached_stream
 
 __all__ = ["BlockCacheSimulator", "simulate_cache"]
@@ -62,6 +62,7 @@ class BlockCacheSimulator:
         "exposure",
         "_dirty_count",
         "_cache",
+        "_replacer",
         "_by_file",
         "_known_size",
         "_now",
@@ -82,8 +83,6 @@ class BlockCacheSimulator:
             raise ValueError(f"block size must be positive, got {block_size}")
         if cache_bytes < block_size:
             raise ValueError("cache smaller than one block")
-        if replacement not in ("lru", "fifo"):
-            raise ValueError(f"unknown replacement policy {replacement!r}")
         self.block_size = block_size
         self.capacity_blocks = cache_bytes // block_size
         self.policy = policy
@@ -97,7 +96,10 @@ class BlockCacheSimulator:
         self.residency = ResidencyTracker() if track_residency else None
         self.exposure = ExposureTracker() if track_exposure else None
         self._dirty_count = 0
-        self._cache: OrderedDict[tuple[int, int], _Entry] = OrderedDict()
+        self._cache: dict[tuple[int, int], _Entry] = {}
+        # Ordering (who dies next) belongs to the policy object; the
+        # dict above only answers membership and per-block dirty state.
+        self._replacer = make_replacement(replacement, self.capacity_blocks)
         self._by_file: dict[int, set[int]] = {}
         self._known_size: dict[int, int] = {}
         self._now = 0.0
@@ -109,8 +111,9 @@ class BlockCacheSimulator:
         if self.exposure is not None:
             self.exposure.update(self._now, self._dirty_count)
 
-    def _remove(self, key: tuple[int, int]) -> _Entry:
+    def _remove(self, key: tuple[int, int], evicted: bool = False) -> _Entry:
         entry = self._cache.pop(key)
+        self._replacer.remove(key, evicted)
         if entry.dirty:
             self._note_dirty(-1)
         blocks = self._by_file[key[0]]
@@ -123,12 +126,13 @@ class BlockCacheSimulator:
 
     def _insert(self, key: tuple[int, int], dirty: bool) -> None:
         self._cache[key] = _Entry(dirty, self._now)
+        self._replacer.insert(key)
         if dirty:
             self._note_dirty(1)
         self._by_file.setdefault(key[0], set()).add(key[1])
         while len(self._cache) > self.capacity_blocks:
-            victim = next(iter(self._cache))
-            entry = self._remove(victim)
+            victim = self._replacer.victim()
+            entry = self._remove(victim, evicted=True)
             self.metrics.evictions += 1
             if entry.dirty:
                 # Delayed-write / flush-back blocks pay their writeback at
@@ -202,8 +206,7 @@ class BlockCacheSimulator:
         write_through = self.policy.policy is WritePolicy.WRITE_THROUGH
         entry = self._cache.get(key)
         if entry is not None:
-            if self.replacement == "lru":
-                self._cache.move_to_end(key)
+            self._replacer.touch(key)
             if write:
                 self.metrics.write_accesses += 1
                 if write_through:

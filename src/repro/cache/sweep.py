@@ -47,6 +47,7 @@ from .policies import (
     PolicySpec,
     WritePolicy,
 )
+from .replacement import current_replacement, validate_replacement
 from .simulator import BlockCacheSimulator
 from .stream import StreamItem, Transfer, cached_stream
 
@@ -100,9 +101,10 @@ def _sweep_worker(payload, job):
     """One sweep job: a packed replay or a whole stack curve.
 
     Module-level so the executor can ship it to worker processes.  Jobs
-    are ``("sim", packkey, cache_bytes, policy)`` returning one
-    :class:`CacheMetrics`, or ``("stack", packkey, sizes)`` returning one
-    metrics object per size (write-through only).  Both dispatch through
+    are ``("sim", packkey, cache_bytes, policy, replacement)`` returning
+    one :class:`CacheMetrics`, or ``("stack", packkey, sizes)`` returning
+    one metrics object per size (write-through LRU only — the one
+    configuration family the Mattson curve answers).  Both dispatch through
     the engine-aware front doors, so a worker runs the numpy kernels
     exactly when the payload's engine allows.
     """
@@ -112,9 +114,14 @@ def _sweep_worker(payload, job):
         sizes = job[2]
         curve = stack_curve(packed, sizes, engine=engine)
         return [curve.metrics(size) for size in sizes]
-    _, _, cache_bytes, policy = job
+    _, _, cache_bytes, policy, replacement = job
     return replay_packed(
-        packed, cache_bytes, policy, flush_epoch=packed.start_time, engine=engine
+        packed,
+        cache_bytes,
+        policy,
+        replacement=replacement,
+        flush_epoch=packed.start_time,
+        engine=engine,
     ).metrics
 
 
@@ -183,6 +190,13 @@ def _resolve_sweep_engine(engine: str | None) -> str:
     return engine if engine is not None else current_engine()
 
 
+def _resolve_replacement(replacement: str | None) -> str:
+    """*replacement*, or the ambient default (``repro-fs ... --policy``)."""
+    if replacement is None:
+        return current_replacement()
+    return validate_replacement(replacement)
+
+
 @dataclass
 class CachePolicySweep:
     """Miss ratio as a function of cache size and write policy
@@ -192,6 +206,7 @@ class CachePolicySweep:
     block_size: int
     cache_sizes: tuple[int, ...]
     policies: tuple[PolicySpec, ...]
+    replacement: str = "lru"
     results: dict[tuple[int, str], CacheMetrics] = field(default_factory=dict)
 
     def miss_ratio(self, cache_bytes: int, policy: PolicySpec) -> float:
@@ -205,12 +220,13 @@ class CachePolicySweep:
             for policy in self.policies:
                 row.append(f"{100 * self.miss_ratio(size, policy):.1f}%")
             rows.append(row)
+        extra = "" if self.replacement == "lru" else f", {self.replacement}"
         return render_table(
             headers,
             rows,
             title=(
                 f"Table VI: miss ratio vs cache size and write policy "
-                f"({self.trace_name}, {self.block_size}-byte blocks)"
+                f"({self.trace_name}, {self.block_size}-byte blocks{extra})"
             ),
         )
 
@@ -223,22 +239,34 @@ def cache_size_policy_sweep(
     jobs: int | None = None,
     engine: str | None = None,
     pack_dir=None,
+    replacement: str | None = None,
 ) -> CachePolicySweep:
-    """Reproduce Figure 5 / Table VI on *log*."""
+    """Reproduce Figure 5 / Table VI on *log*.
+
+    *replacement* selects the block-replacement policy (any name in
+    :data:`~repro.cache.replacement.REPLACEMENT_NAMES`; ``None`` defers
+    to the ambient :func:`~repro.cache.replacement.replacement_context`,
+    default LRU — the paper's policy).
+    """
     n = resolve_jobs(jobs)
     eng = _resolve_sweep_engine(engine)
+    repl = _resolve_replacement(replacement)
     sweep = CachePolicySweep(
         trace_name=log.name,
         block_size=block_size,
         cache_sizes=tuple(cache_sizes),
         policies=tuple(policies),
+        replacement=repl,
     )
     if n <= 1:
         stream = cached_stream(log)
         for size in cache_sizes:
             for policy in policies:
                 sim = BlockCacheSimulator(
-                    cache_bytes=size, block_size=block_size, policy=policy
+                    cache_bytes=size,
+                    block_size=block_size,
+                    policy=policy,
+                    replacement=repl,
                 )
                 sweep.results[(size, policy.label)] = sim.run(
                     stream, flush_epoch=log.start_time
@@ -250,16 +278,18 @@ def cache_size_policy_sweep(
         {block_size: _pack_ref(packed, pack_dir, log.name)}, eng
     )
     stack_policies = [
-        p for p in policies if p.policy is WritePolicy.WRITE_THROUGH
+        p
+        for p in policies
+        if p.policy is WritePolicy.WRITE_THROUGH and repl == "lru"
     ]
     jobs_list: list[tuple] = []
     if stack_policies:
         jobs_list.append(("stack", block_size, tuple(cache_sizes)))
     for size in cache_sizes:
         for policy in policies:
-            if policy.policy is WritePolicy.WRITE_THROUGH:
+            if policy.policy is WritePolicy.WRITE_THROUGH and repl == "lru":
                 continue
-            jobs_list.append(("sim", block_size, size, policy))
+            jobs_list.append(("sim", block_size, size, policy, repl))
     for job, result in zip(
         jobs_list, run_jobs(_sweep_worker, jobs_list, payload=payload, jobs=n)
     ):
@@ -268,7 +298,7 @@ def cache_size_policy_sweep(
                 for policy in stack_policies:
                     sweep.results[(size, policy.label)] = metrics
         else:
-            _, _, size, policy = job
+            _, _, size, policy, _ = job
             sweep.results[(size, policy.label)] = result
     return sweep
 
@@ -331,10 +361,12 @@ def block_size_sweep(
     jobs: int | None = None,
     engine: str | None = None,
     pack_dir=None,
+    replacement: str | None = None,
 ) -> BlockSizeSweep:
     """Reproduce Figure 6 / Table VII on *log*."""
     n = resolve_jobs(jobs)
     eng = _resolve_sweep_engine(engine)
+    repl = _resolve_replacement(replacement)
     sweep = BlockSizeSweep(
         trace_name=log.name,
         block_sizes=tuple(block_sizes),
@@ -346,7 +378,10 @@ def block_size_sweep(
             sweep.no_cache[bs] = count_block_accesses(stream, bs)
             for cache in cache_sizes:
                 sim = BlockCacheSimulator(
-                    cache_bytes=cache, block_size=bs, policy=policy
+                    cache_bytes=cache,
+                    block_size=bs,
+                    policy=policy,
+                    replacement=repl,
                 )
                 sweep.results[(bs, cache)] = sim.run(
                     stream, flush_epoch=log.start_time
@@ -357,7 +392,7 @@ def block_size_sweep(
     payload = _SweepPayload(
         {bs: _pack_ref(p, pack_dir, log.name) for bs, p in packed.items()}, eng
     )
-    use_stack = policy.policy is WritePolicy.WRITE_THROUGH
+    use_stack = policy.policy is WritePolicy.WRITE_THROUGH and repl == "lru"
     jobs_list: list[tuple] = []
     for bs in block_sizes:
         sweep.no_cache[bs] = packed[bs].n_accesses
@@ -365,7 +400,7 @@ def block_size_sweep(
             jobs_list.append(("stack", bs, tuple(cache_sizes)))
         else:
             for cache in cache_sizes:
-                jobs_list.append(("sim", bs, cache, policy))
+                jobs_list.append(("sim", bs, cache, policy, repl))
     for job, result in zip(
         jobs_list,
         run_jobs(_sweep_worker, jobs_list, payload=payload, jobs=n),
@@ -374,7 +409,7 @@ def block_size_sweep(
             for cache, metrics in zip(job[2], result):
                 sweep.results[(job[1], cache)] = metrics
         else:
-            _, bs, cache, _ = job
+            _, bs, cache, _, _ = job
             sweep.results[(bs, cache)] = result
     return sweep
 
@@ -418,10 +453,12 @@ def paging_comparison(
     jobs: int | None = None,
     engine: str | None = None,
     pack_dir=None,
+    replacement: str | None = None,
 ) -> PagingComparison:
     """Reproduce Figure 7 on *log*."""
     n = resolve_jobs(jobs)
     eng = _resolve_sweep_engine(engine)
+    repl = _resolve_replacement(replacement)
     comparison = PagingComparison(
         trace_name=log.name, cache_sizes=tuple(cache_sizes)
     )
@@ -430,10 +467,16 @@ def paging_comparison(
         paged = cached_stream(log, include_paging=True)
         for size in cache_sizes:
             comparison.ignored[size] = BlockCacheSimulator(
-                cache_bytes=size, block_size=block_size, policy=policy
+                cache_bytes=size,
+                block_size=block_size,
+                policy=policy,
+                replacement=repl,
             ).run(plain, flush_epoch=log.start_time)
             comparison.simulated[size] = BlockCacheSimulator(
-                cache_bytes=size, block_size=block_size, policy=policy
+                cache_bytes=size,
+                block_size=block_size,
+                policy=policy,
+                replacement=repl,
             ).run(paged, flush_epoch=log.start_time)
         return comparison
 
@@ -458,12 +501,12 @@ def paging_comparison(
     )
     jobs_list: list[tuple] = []
     for size in cache_sizes:
-        jobs_list.append(("sim", "plain", size, policy))
-        jobs_list.append(("sim", "paged", size, policy))
+        jobs_list.append(("sim", "plain", size, policy, repl))
+        jobs_list.append(("sim", "paged", size, policy, repl))
     for job, result in zip(
         jobs_list, run_jobs(_sweep_worker, jobs_list, payload=payload, jobs=n)
     ):
-        _, variant, size, _ = job
+        _, variant, size, _, _ = job
         table = comparison.ignored if variant == "plain" else comparison.simulated
         table[size] = result
     return comparison

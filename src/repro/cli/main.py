@@ -58,6 +58,7 @@ from ..cache.policies import (
     PolicySpec,
     WritePolicy,
 )
+from ..cache.replacement import REPLACEMENT_NAMES, replacement_context
 from ..cache.simulator import simulate_cache
 from ..cache.sweep import (
     block_size_sweep,
@@ -317,6 +318,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         policy=policy,
         include_paging=args.paging,
+        replacement=args.replacement,
     )
     print(metrics.summary())
     return 0
@@ -330,7 +332,12 @@ def _jobs(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     log = _load_trace(args.trace)
     jobs = _jobs(args)
-    kwargs = dict(jobs=jobs, engine=args.engine, pack_dir=args.pack_cache)
+    kwargs = dict(
+        jobs=jobs,
+        engine=args.engine,
+        pack_dir=args.pack_cache,
+        replacement=args.policy,
+    )
     if args.kind == "policy":
         sweep = cache_size_policy_sweep(log, **kwargs)
     elif args.kind == "blocksize":
@@ -403,10 +410,11 @@ def _cmd_export_figures(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     log = _load_trace(args.trace)
     jobs = _jobs(args)
-    # The registry's entry points take only a trace; the engine choice
-    # reaches the sweeps beneath them (table6, fig5, fig7...) ambiently,
-    # exactly like the jobs count does through run_one/run_all.
-    with engine_context(args.engine):
+    # The registry's entry points take only a trace; the engine and
+    # replacement-policy choices reach the sweeps beneath them (table6,
+    # fig5, fig7...) ambiently, exactly like the jobs count does through
+    # run_one/run_all.
+    with engine_context(args.engine), replacement_context(args.policy):
         if args.all:
             for result in run_all(log, jobs=jobs):
                 print(result)
@@ -810,12 +818,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-mb", type=float, default=4.0)
     p.add_argument("--block-size", type=int, default=4096)
     p.add_argument("--policy", choices=sorted(_POLICIES), default="delayed-write")
+    p.add_argument("--replacement", choices=list(REPLACEMENT_NAMES), default="lru",
+                   help="block replacement policy (the paper's is lru)")
     p.add_argument("--paging", action="store_true", help="simulate execve page-in")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="cache parameter sweeps (Tables VI/VII, Fig 7)")
     p.add_argument("trace")
     p.add_argument("--kind", choices=["policy", "blocksize", "paging"], default="policy")
+    p.add_argument("--policy", choices=list(REPLACEMENT_NAMES), default="lru",
+                   help="block replacement policy (the paper's is lru)")
     p.add_argument("--csv", help="also write the grid as CSV", default=None)
     p.add_argument("--jobs", type=_positive_int, default=None,
                    help="worker processes (default: CPU count, capped; "
@@ -881,6 +893,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_positive_int, default=None,
                    help="worker processes (default: CPU count, capped; "
                    "1 forces the serial reference path)")
+    p.add_argument("--policy", choices=list(REPLACEMENT_NAMES), default="lru",
+                   help="block replacement policy for the cache exhibits "
+                   "(the paper's is lru)")
     _add_engine_arg(p)
     p.set_defaults(func=_cmd_experiment)
 

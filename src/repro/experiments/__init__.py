@@ -23,6 +23,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     table4,
     table5,
     table6_fig5,
+    table6_policies,
     table7_fig6,
 )
 from .base import REGISTRY, Experiment, ExperimentResult, all_ids, get

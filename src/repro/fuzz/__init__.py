@@ -27,6 +27,10 @@ inputs:
   kernels of :mod:`repro.analysis.vectorized` (analyzer, validator,
   packed-stream compiler) versus their pure-Python twins, required
   bit-identical (skipped when numpy is not installed);
+* :mod:`repro.fuzz.policies` — the replacement-policy pillar: every zoo
+  policy (:mod:`repro.cache.replacement`) replayed through the full
+  simulator and the packed replayer, the engine dispatcher's two legs,
+  and a three-way arc/lru/2q no-reuse oracle, all bit-identical;
 * :mod:`repro.fuzz.shrink` — ddmin-style reduction of failing event and
   op sequences, and the on-disk repro corpus;
 * :mod:`repro.fuzz.runner` — the budgeted driver behind ``repro-fs
@@ -44,6 +48,7 @@ from .engines import check_engines
 from .faults import FaultPlan, NetfsFaults
 from .gen import SyscallOp, random_ops, random_trace
 from .oracles import Divergence
+from .policies import check_policies
 from .runner import FuzzConfig, FuzzReport, run_fuzz
 
 __all__ = [
@@ -59,6 +64,7 @@ __all__ = [
     "check_corpus_roundtrip",
     "check_corpus_streaming",
     "check_engines",
+    "check_policies",
     "random_ops",
     "random_trace",
     "run_fuzz",

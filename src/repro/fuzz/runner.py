@@ -1,6 +1,6 @@
 """The fuzz driver behind ``repro-fs fuzz``.
 
-One *round* = one seeded burst through all five pillars:
+One *round* = one seeded burst through all six pillars:
 
 1. generate a random-but-valid syscall sequence, execute it on a fresh
    traced kernel with the :class:`~repro.fuzz.replay.ReplayChecker`
@@ -21,6 +21,10 @@ One *round* = one seeded burst through all five pillars:
    pure-Python twin on the synthetic trace (:mod:`repro.fuzz.engines`):
    analyzer, validator (clean and spoiled), and packed-stream compiler,
    all required bit-identical.  Skipped when numpy is not installed.
+6. replay the synthetic trace through every replacement policy in the
+   zoo (:mod:`repro.fuzz.policies`): the packed replayer vs the full
+   simulator, the engine dispatcher's two legs, and the three-way
+   arc/lru/2q no-reuse oracle — all required bit-identical.
 
 Every round is a pure function of ``(seed, round_index)``, so any
 failure is replayable; failures are ddmin-shrunk to a minimal event
@@ -45,6 +49,7 @@ from .engines import check_engines_all
 from .faults import FaultPlan, check_corruption, check_netfs_convergence
 from .gen import SyscallOp, apply_ops, random_ops, random_trace
 from .oracles import Divergence, canonicalize_times, check_all
+from .policies import check_policies_all
 from .replay import ReplayChecker
 from .shrink import ddmin, replay_corpus, write_corpus_entry
 
@@ -86,6 +91,7 @@ class FuzzReport:
     corpus_corruptions: int = 0
     netfs_checks: int = 0
     engine_events: int = 0
+    policy_events: int = 0
     corpus_replayed: int = 0
     divergences: list[Divergence] = field(default_factory=list)
 
@@ -104,6 +110,7 @@ class FuzzReport:
             f"{self.corpus_corruptions} corpus corruptions, "
             f"{self.netfs_checks} netfs convergence runs, "
             f"{self.engine_events} events through the engine differential, "
+            f"{self.policy_events} events through the policy zoo, "
             f"{self.corpus_replayed} corpus repros replayed)"
         )
 
@@ -192,6 +199,7 @@ def run_fuzz(
                 check_all(canonicalize_times(log))
                 or check_corpus_all(canonicalize_times(log))
                 or check_engines_all(canonicalize_times(log))
+                or check_policies_all(canonicalize_times(log))
             ),
             check_ops=_check_ops,
         )
@@ -397,6 +405,39 @@ def run_fuzz(
                         corpus_entry=entry,
                     )
                 )
+
+        # Pillar 6: the replacement-policy zoo — every policy replayed
+        # through the full simulator and the packed replayer (plus the
+        # engine dispatcher and the no-reuse arc/lru/2q oracle).
+        policy_check = lambda log: check_policies_all(log, seed=round_seed)  # noqa: E731
+        result = policy_check(synthetic)
+        report.policy_events += len(synthetic.events)
+        report.steps += len(synthetic.events)
+        if result is not None:
+            pillar, detail = result
+            say(f"round {round_index}: FAIL [{pillar}] {detail}; shrinking ...")
+            shrunk, detail = _shrink_events(
+                list(synthetic.events), pillar, check=policy_check
+            )
+            entry = None
+            if config.corpus:
+                entry = write_corpus_entry(
+                    config.corpus,
+                    name=f"policy-{config.seed}-{round_index}",
+                    pillar=pillar,
+                    detail=detail,
+                    seed=round_seed,
+                    events=shrunk,
+                )
+            report.divergences.append(
+                Divergence(
+                    pillar=pillar,
+                    detail=detail,
+                    seed=round_seed,
+                    shrunk_events=len(shrunk),
+                    corpus_entry=entry,
+                )
+            )
 
         # Pillar 3, network half: lossy RPC must converge (periodically —
         # the event-loop run is the most expensive oracle here).

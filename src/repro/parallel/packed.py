@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from ..cache.metrics import CacheMetrics
 from ..cache.policies import DELAYED_WRITE, PolicySpec, WritePolicy
+from ..cache.replacement import make_replacement, validate_replacement
 from ..cache.stream import Invalidation, StreamItem, cached_stream, memoize_per_log
 from ..trace.log import TraceLog
 from ..trace.npview import resolve_engine
@@ -223,8 +224,21 @@ def simulate_packed(
     capacity = cache_bytes // bs
     if capacity < 1:
         raise ValueError("cache smaller than one block")
+    validate_replacement(replacement)
     if replacement not in ("lru", "fifo"):
-        raise ValueError(f"unknown replacement policy {replacement!r}")
+        # The zoo policies replay through one generic loop driven by a
+        # policy object — the same classes, and therefore the same
+        # victim sequence, as the full simulator (fuzz pillar 6).
+        return _simulate_packed_policy(
+            packed,
+            capacity,
+            policy,
+            replacement,
+            read_elision=read_elision,
+            invalidate_on_delete=invalidate_on_delete,
+            checkpoint_time=checkpoint_time,
+            flush_epoch=flush_epoch,
+        )
     lru = replacement == "lru"
     write_through = policy.policy is WritePolicy.WRITE_THROUGH
     flushing = policy.policy is WritePolicy.FLUSH_BACK
@@ -460,6 +474,160 @@ def simulate_packed(
                 vs.discard(vkey)
                 if not vs:
                     del by_file[vfid]
+
+    metrics = CacheMetrics(
+        read_accesses=reads,
+        write_accesses=writes,
+        disk_reads=disk_reads,
+        disk_writes=disk_writes,
+        evictions=evictions,
+        invalidated_blocks=invalidated,
+        dirty_blocks_created=dirty_created,
+        dirty_blocks_discarded=dirty_discarded,
+        read_elisions=elisions,
+    )
+    return PackedRun(metrics=metrics, checkpoint=checkpoint)
+
+
+def _simulate_packed_policy(
+    packed: PackedStream,
+    capacity: int,
+    policy: PolicySpec,
+    replacement: str,
+    *,
+    read_elision: bool,
+    invalidate_on_delete: bool,
+    checkpoint_time: float | None,
+    flush_epoch: float | None,
+) -> PackedRun:
+    """The zoo replay: one generic loop around a policy object.
+
+    Mirrors the generic timed branch of :func:`simulate_packed`, with
+    the :class:`OrderedDict` recency bookkeeping replaced by a
+    :class:`~repro.cache.replacement.ReplacementPolicy` driven through
+    the exact operation sequence the full simulator uses (touch on hit,
+    insert on fill, victim/remove on eviction, remove on invalidation)
+    — which is what makes the two bit-identical for every policy.
+    """
+    replacer = make_replacement(replacement, capacity)
+    touch = replacer.touch
+    admit = replacer.insert
+    choose = replacer.victim
+    expel = replacer.remove
+
+    write_through = policy.policy is WritePolicy.WRITE_THROUGH
+    flushing = policy.policy is WritePolicy.FLUSH_BACK
+
+    resident: set[int] = set()  # membership only; ordering is the policy's
+    dirty_set: set[int] = set()
+    by_file: dict[int, set[int]] = {}
+    reads = writes = disk_reads = disk_writes = 0
+    evictions = invalidated = 0
+    dirty_created = dirty_discarded = elisions = 0
+    checkpoint: CacheMetrics | None = None
+
+    dirty_add = dirty_set.add
+    dirty_has = dirty_set.__contains__
+    dirty_drop = dirty_set.discard
+
+    inf = float("inf")
+    cp_at = checkpoint_time if checkpoint_time is not None else inf
+    interval = policy.flush_interval or 0.0
+    if flushing:
+        if flush_epoch is not None:
+            next_flush = flush_epoch + interval
+        elif len(packed.times):
+            next_flush = packed.times[0] + interval
+        else:
+            next_flush = inf
+    else:
+        next_flush = inf
+
+    for op, key, t in zip(packed.ops, packed.keys.tolist(), packed.times.tolist()):
+        if t >= cp_at:
+            checkpoint = CacheMetrics(
+                read_accesses=reads,
+                write_accesses=writes,
+                disk_reads=disk_reads,
+                disk_writes=disk_writes,
+                evictions=evictions,
+                invalidated_blocks=invalidated,
+                dirty_blocks_created=dirty_created,
+                dirty_blocks_discarded=dirty_discarded,
+                read_elisions=elisions,
+            )
+            cp_at = inf
+        while t >= next_flush:
+            if dirty_set:
+                disk_writes += len(dirty_set)
+                dirty_set.clear()
+            next_flush += interval
+        if op == OP_INVALIDATE:
+            if invalidate_on_delete:
+                fid = key >> KEY_SHIFT
+                s = by_file.get(fid)
+                if s:
+                    doomed = sorted(k for k in s if k >= key)
+                    if doomed:
+                        for k in doomed:
+                            resident.discard(k)
+                            expel(k)
+                            if dirty_has(k):
+                                dirty_drop(k)
+                                dirty_discarded += 1
+                            s.discard(k)
+                        invalidated += len(doomed)
+                        if not s:
+                            del by_file[fid]
+            continue
+        if key in resident:
+            # Hit.
+            touch(key)
+            if op:
+                writes += 1
+                if write_through:
+                    disk_writes += 1
+                elif not dirty_has(key):
+                    dirty_add(key)
+                    dirty_created += 1
+            else:
+                reads += 1
+            continue
+        # Miss.
+        if op:
+            writes += 1
+            if op == OP_WRITE_COVERED and read_elision:
+                elisions += 1
+            else:
+                disk_reads += 1
+            if write_through:
+                disk_writes += 1
+            else:
+                dirty_created += 1
+                dirty_add(key)
+        else:
+            reads += 1
+            disk_reads += 1
+        resident.add(key)
+        admit(key)
+        fid = key >> KEY_SHIFT
+        s = by_file.get(fid)
+        if s is None:
+            s = by_file[fid] = set()
+        s.add(key)
+        if len(resident) > capacity:
+            vkey = choose()
+            resident.discard(vkey)
+            expel(vkey, True)
+            evictions += 1
+            if dirty_has(vkey):
+                dirty_drop(vkey)
+                disk_writes += 1
+            vfid = vkey >> KEY_SHIFT
+            vs = by_file[vfid]
+            vs.discard(vkey)
+            if not vs:
+                del by_file[vfid]
 
     metrics = CacheMetrics(
         read_accesses=reads,

@@ -52,6 +52,7 @@ from heapq import heappop, heappush
 
 from ..cache.metrics import CacheMetrics
 from ..cache.policies import DELAYED_WRITE, WRITE_THROUGH, PolicySpec, WritePolicy
+from ..cache.replacement import validate_replacement
 from ..trace.npview import np, resolve_engine
 from .packed import (
     KEY_SHIFT,
@@ -186,15 +187,16 @@ def simulate_packed_numpy(
 
     Exact for LRU write-through (timed or not): with no dirty blocks
     the replay's metrics equal the stack curve evaluated at this one
-    capacity.  Anything stateful (delayed write, flush-back, FIFO)
-    raises :class:`VectorFallback` — those replays genuinely depend on
-    per-capacity dirty state the one-pass curve cannot carry.
+    capacity.  Anything stateful (delayed write, flush-back, or any
+    non-LRU zoo policy) raises :class:`VectorFallback` — those replays
+    genuinely depend on per-capacity state (dirty blocks, reference
+    bits, ghost lists) that the LRU-shaped one-pass curve cannot carry;
+    see DESIGN.md §16 for the curve-vs-replay split.
     """
     bs = packed.block_size
     if cache_bytes // bs < 1:
         raise ValueError("cache smaller than one block")
-    if replacement not in ("lru", "fifo"):
-        raise ValueError(f"unknown replacement policy {replacement!r}")
+    validate_replacement(replacement)
     _require(
         policy.policy is WritePolicy.WRITE_THROUGH and replacement == "lru",
         f"stateful configuration ({policy.label!r}, {replacement!r}) "

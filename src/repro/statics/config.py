@@ -63,6 +63,7 @@ SIMULATOR_PACKAGES: tuple[str, ...] = (
 #: ``__slots__`` (directly or via ``@dataclass(slots=True)``) so
 #: per-instance dicts never show up millions of times in a sweep.
 HOT_MODULES: tuple[str, ...] = (
+    "repro.cache.replacement",
     "repro.cache.simulator",
     "repro.cache.stream",
     "repro.parallel.packed",

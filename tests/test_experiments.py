@@ -8,6 +8,7 @@ EXPECTED_IDS = {
     "table1", "table3", "table4", "table5", "table6", "table7",
     "fig1", "fig2", "fig3", "fig4", "fig7", "intervals", "residency",
     "burstiness", "metadata", "exposure", "netfs", "section7",
+    "table6rev",
 }
 
 

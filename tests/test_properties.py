@@ -21,6 +21,7 @@ Invariants covered:
 from __future__ import annotations
 
 import io
+from array import array
 
 from hypothesis import given, settings, strategies as st
 
@@ -28,8 +29,15 @@ from repro.analysis.accesses import reconstruct_accesses
 from repro.analysis.cdf import Cdf
 from repro.fuzz.gen import ops_strategy, trace_strategy
 from repro.cache.policies import DELAYED_WRITE
+from repro.cache.replacement import REPLACEMENT_NAMES
 from repro.cache.simulator import BlockCacheSimulator
 from repro.cache.stream import build_stream
+from repro.parallel.packed import (
+    OP_READ,
+    PackedStream,
+    pack_stream,
+    simulate_packed,
+)
 from repro.trace.io_binary import read_binary, write_binary
 from repro.trace.io_text import format_event, parse_event_line
 from repro.trace.log import TraceLog
@@ -344,3 +352,93 @@ class TestFuzzInputModel:
         assert apply_ops(ops).skipped == 0
         # The full pillar-1 oracle (replay + validate + fsck + differentials).
         assert _check_ops(ops) is None
+
+
+# --- the replacement-policy zoo ---------------------------------------------
+
+#: The classic Belady sequence: FIFO takes 9 faults at 3 frames but 10
+#: at 4 (the anomaly); any stack algorithm is monotone on it.
+_BELADY_PAGES = (1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5)
+
+
+def _read_only_stream(pages) -> PackedStream:
+    return PackedStream(
+        block_size=4096,
+        start_time=0.0,
+        ops=bytes([OP_READ]) * len(pages),
+        keys=array("q", pages),
+        times=array("d", [float(i) for i in range(len(pages))]),
+        n_accesses=len(pages),
+    )
+
+
+class TestPolicyZooProperties:
+    @given(access_traces(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=15, deadline=None)
+    def test_access_conservation_under_every_policy(self, log, cache_blocks):
+        packed = pack_stream(build_stream(log), 4096, start_time=log.start_time)
+        for name in REPLACEMENT_NAMES:
+            metrics = simulate_packed(
+                packed, cache_blocks * 4096, DELAYED_WRITE, replacement=name
+            ).metrics
+            # Every block access is billed exactly once, as a read or a
+            # write, no matter who picks the victims.
+            assert (
+                metrics.read_accesses + metrics.write_accesses
+                == packed.n_accesses
+            )
+            assert metrics.disk_reads + metrics.read_elisions <= (
+                metrics.block_accesses
+            )
+
+    @given(access_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_unbounded_cache_sees_only_cold_misses(self, log):
+        packed = pack_stream(build_stream(log), 4096, start_time=log.start_time)
+        runs = {
+            name: simulate_packed(
+                packed, 1 << 40, DELAYED_WRITE, replacement=name
+            ).metrics
+            for name in REPLACEMENT_NAMES
+        }
+        baseline = runs["lru"]
+        assert baseline.evictions == 0
+        for name, metrics in runs.items():
+            # A cache nothing is ever evicted from misses each block
+            # once; the replacement policy never gets to act, so every
+            # policy must report the same numbers.
+            assert metrics == baseline, name
+
+    @given(access_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_stack_policies_have_the_inclusion_property(self, log):
+        packed = pack_stream(build_stream(log), 4096, start_time=log.start_time)
+        for name in ("lru", "lfu"):
+            misses = [
+                (lambda m: m.disk_reads + m.read_elisions)(
+                    simulate_packed(
+                        packed, blocks * 4096, DELAYED_WRITE, replacement=name
+                    ).metrics
+                )
+                for blocks in (2, 8, 64, 256)
+            ]
+            # Stack algorithms: the bigger cache's contents include the
+            # smaller's, so misses never increase with capacity.
+            assert misses == sorted(misses, reverse=True), name
+
+    def test_battery_detects_belady_anomaly_in_fifo(self):
+        stream = _read_only_stream(_BELADY_PAGES)
+
+        def faults(name: str, frames: int) -> int:
+            return simulate_packed(
+                stream, frames * 4096, DELAYED_WRITE, replacement=name
+            ).metrics.disk_reads
+
+        # FIFO is not a stack algorithm: the constructed sequence must
+        # show *more* faults with *more* memory, and the battery's
+        # monotonicity check is exactly what flags it.
+        assert faults("fifo", 3) == 9
+        assert faults("fifo", 4) == 10
+        assert faults("fifo", 4) > faults("fifo", 3)
+        # LRU on the same sequence stays monotone (inclusion property).
+        assert faults("lru", 4) <= faults("lru", 3)
